@@ -1,0 +1,80 @@
+//! Property-based tests for the ATPG engine.
+
+use dynmos_atpg::{apply_twice, generate_test, generate_test_set, AtpgOutcome};
+use dynmos_netlist::generate::random_domino_network;
+use dynmos_netlist::NetworkFault;
+use dynmos_protest::{network_fault_list, FaultSimulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every test PODEM returns actually detects its target fault.
+    #[test]
+    fn generated_tests_are_valid(seed in 0u64..400) {
+        let net = random_domino_network(seed, 3, 4);
+        let faults = network_fault_list(&net);
+        let sim = FaultSimulator::new(&net);
+        for entry in &faults {
+            match generate_test(&net, &entry.fault, 0) {
+                AtpgOutcome::Test(t) => {
+                    let out = sim.run_patterns(
+                        std::slice::from_ref(entry),
+                        std::slice::from_ref(&t),
+                    );
+                    prop_assert_eq!(out.coverage(), 1.0, "{} test invalid", entry.label);
+                }
+                AtpgOutcome::Redundant => {
+                    // Cross-check redundancy exhaustively.
+                    let n = net.primary_inputs().len();
+                    for w in 0..(1u64 << n) {
+                        let bits: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+                        let out = sim.run_patterns(
+                            std::slice::from_ref(entry),
+                            std::slice::from_ref(&bits),
+                        );
+                        prop_assert_eq!(
+                            out.coverage(), 0.0,
+                            "{} claimed redundant but {:?} detects it", entry.label, bits
+                        );
+                    }
+                }
+                AtpgOutcome::Aborted => prop_assert!(false, "unlimited budget aborted"),
+            }
+        }
+    }
+
+    /// The dropped test set covers exactly what per-fault ATPG covers.
+    #[test]
+    fn test_set_coverage_equals_per_fault_coverage(seed in 0u64..400) {
+        let net = random_domino_network(seed, 3, 4);
+        let faults = network_fault_list(&net);
+        let report = generate_test_set(&net, &faults, 0);
+        prop_assert!(report.aborted.is_empty());
+        let out = FaultSimulator::new(&net).run_patterns(&faults, &report.tests);
+        for (i, entry) in faults.iter().enumerate() {
+            let detected = out.detected_at[i].is_some();
+            let redundant = report.redundant.contains(&entry.label);
+            prop_assert!(detected ^ redundant, "{}", entry.label);
+        }
+    }
+
+    /// apply_twice exactly duplicates the sequence.
+    #[test]
+    fn apply_twice_structure(tests in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 3), 0..6)) {
+        let doubled = apply_twice(&tests);
+        prop_assert_eq!(doubled.len(), tests.len() * 2);
+        prop_assert_eq!(&doubled[..tests.len()], &tests[..]);
+        prop_assert_eq!(&doubled[tests.len()..], &tests[..]);
+    }
+
+    /// A self-equal gate-function fault is always proven redundant.
+    #[test]
+    fn identity_fault_is_redundant(seed in 0u64..400, pick in any::<prop::sample::Index>()) {
+        let net = random_domino_network(seed, 3, 4);
+        let g = dynmos_netlist::GateRef(pick.index(net.gates().len()) as u32);
+        let fault = NetworkFault::GateFunction(g, net.cell_of(g).logic_function());
+        prop_assert_eq!(generate_test(&net, &fault, 0), AtpgOutcome::Redundant);
+    }
+}

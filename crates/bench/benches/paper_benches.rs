@@ -1,0 +1,217 @@
+//! Criterion benches, one group per paper experiment.
+//!
+//! These measure the computational kernels behind each regenerated table
+//! and figure; the tables themselves are printed by the `experiments`
+//! binary (`cargo run --release -p dynmos-bench --bin experiments`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmos_core::{validate_cell, FaultLibrary};
+use dynmos_netlist::generate::{
+    and_or_tree, c17_dynamic_nmos, domino_wide_and, fig9_cell, random_domino_cell,
+    single_cell_network,
+};
+use dynmos_protest::{
+    detection_probabilities, network_fault_list, optimize_input_probabilities,
+    signal_probabilities, test_length, FaultSimulator, PatternSource,
+};
+use dynmos_switch::gates::{domino_gate, static_nor2};
+use dynmos_switch::{contention, FaultSet, Logic, RcParams, Sim, SwitchFault};
+
+/// E1: one full settle of the faulty static NOR (the Fig. 1 kernel).
+fn bench_e1_static_nor(c: &mut Criterion) {
+    let nor = static_nor2();
+    let faults = FaultSet::single(SwitchFault::StuckOpen(nor.pulldown_a));
+    c.bench_function("e1_fig1_faulty_nor_settle", |b| {
+        b.iter(|| {
+            let mut sim = Sim::with_faults(&nor.circuit, faults.clone());
+            sim.preset_charge(nor.z, Logic::One);
+            sim.set_input(nor.a, Logic::One);
+            sim.set_input(nor.b, Logic::Zero);
+            sim.settle();
+            std::hint::black_box(sim.level(nor.z))
+        })
+    });
+}
+
+/// E2: the RC contention analysis (the Fig. 2 kernel).
+fn bench_e2_contention(c: &mut Criterion) {
+    let params = RcParams::typical();
+    c.bench_function("e2_fig2_contention_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ratio in [10.0, 6.0, 4.0, 3.0, 2.5, 2.0, 1.5, 1.0] {
+                let out = contention(ratio * 10_000.0, 10_000.0, 1.0, params);
+                if out.settle_time.is_finite() {
+                    acc += out.settle_time;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+/// E3/E4: a full domino precharge/evaluate cycle at switch level.
+fn bench_e3_domino_cycle(c: &mut Criterion) {
+    let cell = fig9_cell();
+    let gate = domino_gate(cell.transmission(), 5).expect("fig9 is positive SP");
+    c.bench_function("e3_fig4_domino_cycle", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&gate.circuit);
+            std::hint::black_box(gate.evaluate(&mut sim, 0b00011))
+        })
+    });
+}
+
+/// E5: complete switch-level validation of one cell (all faults, all
+/// histories, exhaustive inputs).
+fn bench_e5_theorem_validation(c: &mut Criterion) {
+    let cell = random_domino_cell(1, 4, 6);
+    c.bench_function("e5_validate_cell_4x6", |b| {
+        b.iter(|| std::hint::black_box(validate_cell(&cell)).all_combinational())
+    });
+}
+
+/// E6/E10: fault library generation vs switch count (the section-5
+/// "a few seconds per gate" claim).
+fn bench_e6_e10_library_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_library_generation");
+    for switches in [4usize, 6, 8, 10, 12, 14] {
+        let cell = random_domino_cell(2000 + switches as u64, (switches / 2).clamp(2, 6), switches);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(switches),
+            &cell,
+            |b, cell| b.iter(|| std::hint::black_box(FaultLibrary::generate(cell)).classes().len()),
+        );
+    }
+    group.finish();
+    // The paper's own gate, for the record.
+    c.bench_function("e6_fig9_library_generation", |b| {
+        let cell = fig9_cell();
+        b.iter(|| std::hint::black_box(FaultLibrary::generate(&cell)).classes().len())
+    });
+}
+
+/// E7: the PROTEST pipeline stages.
+fn bench_e7_protest(c: &mut Criterion) {
+    let net = c17_dynamic_nmos();
+    let faults = network_fault_list(&net);
+    let uniform = vec![0.5f64; 5];
+    c.bench_function("e7_signal_probabilities_c17", |b| {
+        b.iter(|| std::hint::black_box(signal_probabilities(&net, &uniform)))
+    });
+    c.bench_function("e7_detection_probabilities_c17", |b| {
+        b.iter(|| std::hint::black_box(detection_probabilities(&net, &faults, &uniform)))
+    });
+    c.bench_function("e7_test_length_c17", |b| {
+        let det = detection_probabilities(&net, &faults, &uniform);
+        b.iter(|| std::hint::black_box(test_length(&det, 0.999)))
+    });
+    let wide = single_cell_network(domino_wide_and(8));
+    let wide_faults = network_fault_list(&wide);
+    c.bench_function("e7_optimize_inputs_wide_and_8", |b| {
+        b.iter(|| {
+            std::hint::black_box(optimize_input_probabilities(&wide, &wide_faults, 0.999, 4))
+                .optimized_length
+        })
+    });
+    // Ablation: enumeration vs BDD vs Monte Carlo for one detection
+    // probability on the same circuit.
+    let fault = &faults[0].fault;
+    c.bench_function("e7_detection_exact_enumeration", |b| {
+        b.iter(|| {
+            std::hint::black_box(dynmos_protest::exact_detection_probability(
+                &net, fault, &uniform,
+            ))
+        })
+    });
+    c.bench_function("e7_detection_bdd", |b| {
+        b.iter(|| {
+            std::hint::black_box(dynmos_protest::bdd_detection_probability(
+                &net, fault, &uniform,
+            ))
+        })
+    });
+    c.bench_function("e7_detection_monte_carlo_10k", |b| {
+        b.iter(|| {
+            std::hint::black_box(dynmos_protest::mc_detection_probability(
+                &net, fault, &uniform, 7, 10_000,
+            ))
+            .value
+        })
+    });
+}
+
+/// E8: A2-coverage measurement kernel (packed all-net evaluation).
+fn bench_e8_a2_coverage(c: &mut Criterion) {
+    let net = and_or_tree(3);
+    let mut src = PatternSource::uniform(1, 8);
+    c.bench_function("e8_packed_all_net_eval_tree3", |b| {
+        let batch = src.next_batch();
+        b.iter(|| std::hint::black_box(net.eval_packed_all(&batch, None)))
+    });
+}
+
+/// E9: deterministic test generation for one fault list.
+fn bench_e9_atpg(c: &mut Criterion) {
+    let net = c17_dynamic_nmos();
+    let faults = network_fault_list(&net);
+    c.bench_function("e9_podem_test_set_c17", |b| {
+        b.iter(|| {
+            std::hint::black_box(dynmos_atpg::generate_test_set(&net, &faults, 0))
+                .tests
+                .len()
+        })
+    });
+}
+
+/// E11: the at-speed detection matrix.
+fn bench_e11_at_speed_matrix(c: &mut Criterion) {
+    c.bench_function("e11_at_speed_matrix", |b| {
+        b.iter(|| std::hint::black_box(dynmos_bench::e11::matrix()).len())
+    });
+}
+
+/// E12: pattern-parallel fault simulation throughput (the ablation
+/// baseline is the same run without 64-way packing, measured as the
+/// per-pattern variant).
+fn bench_e12_fault_simulation(c: &mut Criterion) {
+    let net = c17_dynamic_nmos();
+    let faults = network_fault_list(&net);
+    let sim = FaultSimulator::new(&net);
+    c.bench_function("e12_fsim_parallel_1024_patterns", |b| {
+        b.iter(|| {
+            let mut src = PatternSource::uniform(9, 5);
+            std::hint::black_box(sim.run_random(&faults, &mut src, 1024)).coverage()
+        })
+    });
+    // Serial ablation: one pattern per batch via run_patterns.
+    c.bench_function("e12_fsim_serial_1024_patterns", |b| {
+        let mut src = PatternSource::uniform(9, 5);
+        let patterns: Vec<Vec<bool>> = (0..1024).map(|_| src.next_pattern()).collect();
+        b.iter(|| {
+            let mut covered = 0usize;
+            for p in &patterns {
+                let out = sim.run_patterns(&faults, std::slice::from_ref(p));
+                covered += out.detected_at.iter().filter(|d| d.is_some()).count();
+            }
+            std::hint::black_box(covered)
+        })
+    });
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_e1_static_nor,
+        bench_e2_contention,
+        bench_e3_domino_cycle,
+        bench_e5_theorem_validation,
+        bench_e6_e10_library_generation,
+        bench_e7_protest,
+        bench_e8_a2_coverage,
+        bench_e9_atpg,
+        bench_e11_at_speed_matrix,
+        bench_e12_fault_simulation
+);
+criterion_main!(paper);

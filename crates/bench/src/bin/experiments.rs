@@ -1,0 +1,7 @@
+//! Prints every regenerated table and figure of the paper.
+//!
+//! Run with: `cargo run --release -p dynmos-bench --bin experiments`
+
+fn main() {
+    print!("{}", dynmos_bench::run_all());
+}

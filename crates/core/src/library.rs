@@ -1,0 +1,442 @@
+//! Automatic fault library generation (the paper's section 5).
+//!
+//! > "the functional library … must contain the fault free functions and
+//! > all possible faulty functions of the used cells. All these functions
+//! > are automatically generated using both a structural and a behavioural
+//! > description of the cell. … It should be noted, that fault equivalent
+//! > classes are constructed (i.e. not every fault has to be described in
+//! > the library). All created functions have the minimum disjunctive
+//! > form."
+//!
+//! [`FaultLibrary::generate`] reproduces exactly that: enumerate the
+//! physical faults of the cell's technology, classify each into its faulty
+//! function, collapse functions that coincide (truth-table equality) into
+//! numbered classes, and store each class's minimum disjunctive form.
+//! Faults whose function equals the fault-free function (the paper's
+//! `CMOS-1`) land in a separate *timing-only* bucket rather than a class.
+//!
+//! The paper's internal representation was "a PASCAL program performing
+//! the fault free and the faulty functions"; ours is the same artifact in
+//! evaluable form — every class carries a [`Bexpr`] you can run.
+
+use crate::classify::{classify, DetectionRequirement, FaultEffect};
+use crate::fault::{enumerate_faults, FaultUniverse, PhysicalFault};
+use dynmos_logic::{min_dnf, Bexpr, TruthTable, VarTable};
+use dynmos_netlist::Cell;
+use std::fmt;
+
+/// One fault-equivalence class of a [`FaultLibrary`].
+#[derive(Debug, Clone)]
+pub struct FaultClass {
+    /// 1-based class number, matching the paper's table numbering.
+    pub id: usize,
+    /// The physical faults collapsed into this class, in enumeration order.
+    pub faults: Vec<PhysicalFault>,
+    /// The faulty output function, in minimum disjunctive form.
+    pub function: Bexpr,
+    /// Truth table of the faulty function (the equivalence key).
+    pub table: TruthTable,
+    /// `true` if *every* fault in the class needs at-speed testing to
+    /// materialize its logical effect (e.g. a class containing only
+    /// `CMOS-3`); `false` if at least one member shows up functionally.
+    pub at_speed_only: bool,
+    /// Precomputed minimum-DNF display string (the `VarTable` is not
+    /// stored per class).
+    display_cache: String,
+}
+
+impl FaultClass {
+    /// The minimum-disjunctive-form string of the faulty function in the
+    /// cell's input names — the paper's "Faulty function" column.
+    pub fn function_string(&self) -> String {
+        self.display_cache.clone()
+    }
+}
+
+/// The complete fault library of one cell.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_core::FaultLibrary;
+/// use dynmos_netlist::generate::fig9_cell;
+///
+/// let lib = FaultLibrary::generate(&fig9_cell());
+/// // The paper's class 1: "a closed" with u = b+c+d*e.
+/// assert_eq!(lib.classes()[0].function_string(), "b+c+d*e");
+/// // CMOS-1 is not a class — it is timing-only (possibly undetectable).
+/// assert_eq!(lib.timing_only().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultLibrary {
+    cell_name: String,
+    technology: dynmos_netlist::Technology,
+    vars: VarTable,
+    nvars: usize,
+    fault_free: Bexpr,
+    fault_free_table: TruthTable,
+    fault_free_string: String,
+    classes: Vec<FaultClass>,
+    timing_only: Vec<PhysicalFault>,
+    total_faults: usize,
+}
+
+impl FaultLibrary {
+    /// Generates the library for `cell` over the paper's default fault
+    /// universe (see [`FaultUniverse::paper_table`]).
+    pub fn generate(cell: &Cell) -> Self {
+        Self::generate_with(cell, FaultUniverse::paper_table())
+    }
+
+    /// Generates the library for `cell` over an explicit fault universe.
+    pub fn generate_with(cell: &Cell, universe: FaultUniverse) -> Self {
+        let nvars = cell.input_count();
+        let vars = cell.var_table();
+        let fault_free = cell.logic_function();
+        let fault_free_table = TruthTable::from_expr(&fault_free, nvars);
+        let fault_free_dnf = min_dnf(&fault_free_table);
+        let fault_free_string = fault_free_dnf.display(&vars).to_string();
+
+        let faults = enumerate_faults(cell, universe);
+        let total_faults = faults.len();
+        let mut classes: Vec<FaultClass> = Vec::new();
+        let mut timing_only: Vec<PhysicalFault> = Vec::new();
+
+        for fault in faults {
+            let effect: FaultEffect = classify(cell, fault);
+            let table = TruthTable::from_expr(&effect.function, nvars);
+            if table == fault_free_table {
+                // No functional difference: CMOS-1 and friends.
+                timing_only.push(fault);
+                continue;
+            }
+            let at_speed = effect.requirement == DetectionRequirement::AtSpeed;
+            if let Some(existing) = classes.iter_mut().find(|c| c.table == table) {
+                existing.faults.push(fault);
+                existing.at_speed_only &= at_speed;
+            } else {
+                let dnf = min_dnf(&table);
+                let display_cache = dnf.display(&vars).to_string();
+                classes.push(FaultClass {
+                    id: classes.len() + 1,
+                    faults: vec![fault],
+                    function: dnf.to_expr(),
+                    table,
+                    at_speed_only: at_speed,
+                    display_cache,
+                });
+            }
+        }
+
+        Self {
+            cell_name: cell.name().to_owned(),
+            technology: cell.technology(),
+            vars,
+            nvars,
+            fault_free,
+            fault_free_table,
+            fault_free_string,
+            classes,
+            timing_only,
+            total_faults,
+        }
+    }
+
+    /// Cell name.
+    pub fn cell_name(&self) -> &str {
+        &self.cell_name
+    }
+
+    /// The cell's technology.
+    pub fn technology(&self) -> dynmos_netlist::Technology {
+        self.technology
+    }
+
+    /// Number of input variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The fault-free logic function.
+    pub fn fault_free(&self) -> &Bexpr {
+        &self.fault_free
+    }
+
+    /// Truth table of the fault-free function.
+    pub fn fault_free_table(&self) -> &TruthTable {
+        &self.fault_free_table
+    }
+
+    /// The distinguishable fault classes, numbered from 1 as in the paper.
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Faults with no functional effect (timing-only / possibly redundant).
+    pub fn timing_only(&self) -> &[PhysicalFault] {
+        &self.timing_only
+    }
+
+    /// Total physical faults enumerated (classes + timing-only members).
+    pub fn total_faults(&self) -> usize {
+        self.total_faults
+    }
+
+    /// The input-name table used for display.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// The class containing `fault`, if it has a functional effect.
+    pub fn class_of(&self, fault: PhysicalFault) -> Option<&FaultClass> {
+        self.classes.iter().find(|c| c.faults.contains(&fault))
+    }
+
+    /// Test patterns for class `id`: the input rows on which the faulty
+    /// function differs from the fault-free one (the Boolean difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid class number.
+    pub fn test_patterns(&self, id: usize) -> Vec<u64> {
+        let class = &self.classes[id - 1];
+        self.fault_free_table.xor(&class.table).ones_iter().collect()
+    }
+
+    /// Renders the library as the paper's section-5 table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Cell '{}': u = {}   ({} faults -> {} classes, {} timing-only)\n",
+            self.cell_name,
+            self.fault_free_string,
+            self.total_faults,
+            self.classes.len(),
+            self.timing_only.len()
+        ));
+        out.push_str("Class  Fault                 Faulty function\n");
+        for class in &self.classes {
+            let mut first = true;
+            for fault in &class.faults {
+                let name = fault.display_for(&self.vars, self.technology).to_string();
+                if first {
+                    let fn_str = if class.at_speed_only {
+                        format!("{} (at speed)", class.display_cache)
+                    } else {
+                        class.display_cache.clone()
+                    };
+                    out.push_str(&format!("{:>5}  {:<20}  u = {}\n", class.id, name, fn_str));
+                    first = false;
+                } else {
+                    out.push_str(&format!("       {name:<20}\n"));
+                }
+            }
+        }
+        for fault in &self.timing_only {
+            out.push_str(&format!(
+                "    -  {:<20}  (timing only, possibly undetectable)\n",
+                fault.display_for(&self.vars, self.technology).to_string()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FaultLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmos_logic::VarId;
+    use dynmos_netlist::generate::fig9_cell;
+    use dynmos_netlist::parse_cell;
+
+    #[test]
+    fn fig9_reproduces_the_papers_ten_classes() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        assert_eq!(lib.classes().len(), 10, "\n{lib}");
+        let vt = lib.vars().clone();
+        let table: Vec<(Vec<String>, String)> = lib
+            .classes()
+            .iter()
+            .map(|c| {
+                (
+                    c.faults.iter().map(|f| f.display(&vt).to_string()).collect(),
+                    c.function_string(),
+                )
+            })
+            .collect();
+        let expect: Vec<(Vec<&str>, &str)> = vec![
+            (vec!["a closed"], "b+c+d*e"),
+            (vec!["a open"], "d*e"),
+            (vec!["b closed", "c closed"], "a+d*e"),
+            (vec!["b open"], "a*c+d*e"),
+            (vec!["c open"], "a*b+d*e"),
+            (vec!["d closed"], "a*b+a*c+e"),
+            (vec!["d open", "e open"], "a*b+a*c"),
+            (vec!["e closed"], "a*b+a*c+d"),
+            (vec!["CMOS-2", "CMOS-3"], "0"),
+            (vec!["CMOS-4"], "1"),
+        ];
+        for (i, ((faults, function), (e_faults, e_fn))) in
+            table.iter().zip(expect.iter()).enumerate()
+        {
+            assert_eq!(faults, e_faults, "class {} faults", i + 1);
+            assert_eq!(function, e_fn, "class {} function", i + 1);
+        }
+    }
+
+    #[test]
+    fn cmos1_lands_in_timing_only() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        assert_eq!(lib.timing_only().len(), 1);
+        assert!(matches!(
+            lib.timing_only()[0],
+            PhysicalFault::EvaluateClosed
+        ));
+    }
+
+    #[test]
+    fn class9_is_not_at_speed_only_but_cmos3_alone_is() {
+        // Class 9 merges CMOS-2 (functional) and CMOS-3 (at-speed): the
+        // class is detectable functionally because CMOS-2 is.
+        let lib = FaultLibrary::generate(&fig9_cell());
+        assert!(!lib.classes()[8].at_speed_only);
+        // A library over a universe without CMOS-2 cannot happen with the
+        // stock enumerator, but class_of still reports CMOS-3's home:
+        let c = lib.class_of(PhysicalFault::PrechargeClosed).unwrap();
+        assert_eq!(c.id, 9);
+    }
+
+    #[test]
+    fn class_count_at_most_fault_count() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        assert!(lib.classes().len() <= lib.total_faults());
+        let members: usize = lib.classes().iter().map(|c| c.faults.len()).sum();
+        assert_eq!(members + lib.timing_only().len(), lib.total_faults());
+    }
+
+    #[test]
+    fn functions_are_minimal_dnf_strings() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        // Class 7 (d open / e open): a*b+a*c, not a*(b+c).
+        assert_eq!(lib.classes()[6].function_string(), "a*b+a*c");
+    }
+
+    #[test]
+    fn test_patterns_distinguish_faulty_from_good() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        for class in lib.classes() {
+            let patterns = lib.test_patterns(class.id);
+            assert!(!patterns.is_empty(), "class {} untestable", class.id);
+            for p in patterns {
+                assert_ne!(
+                    lib.fault_free_table().get(p),
+                    class.table.get(p),
+                    "class {} pattern {p}",
+                    class.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_nmos_library() {
+        let cell =
+            parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let lib = FaultLibrary::generate(&cell);
+        // Faults: a open, b open, a closed, b closed, pre open, pre closed.
+        // z = /(a+b). a open -> /b; b open -> /a; a closed -> 0;
+        // b closed -> 0; precharge faults -> 0. Classes: /b, /a, 0 = 3.
+        assert_eq!(lib.classes().len(), 3, "\n{lib}");
+        assert_eq!(lib.total_faults(), 6);
+        // Both precharge faults and both closed faults share the 0 class.
+        let zero_class = lib
+            .classes()
+            .iter()
+            .find(|c| c.function_string() == "0")
+            .unwrap();
+        assert_eq!(zero_class.faults.len(), 4);
+    }
+
+    #[test]
+    fn static_cmos_library_uses_stuck_at_universe() {
+        let cell =
+            parse_cell("nand2", "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap();
+        let lib = FaultLibrary::generate(&cell);
+        // z = /(a*b). Universe: s0-a, s1-a, s0-b, s1-b, s0-z, s1-z.
+        // s0-a -> 1 ; s0-b -> 1 ; s1-z -> 1 : one class.
+        // s1-a -> /b ; s1-b -> /a ; s0-z -> 0.
+        assert_eq!(lib.total_faults(), 6);
+        assert_eq!(lib.classes().len(), 4, "\n{lib}");
+    }
+
+    #[test]
+    fn line_opens_merge_into_switch_open_classes() {
+        let lib = FaultLibrary::generate_with(
+            &fig9_cell(),
+            FaultUniverse {
+                include_line_opens: true,
+                include_inverter: false,
+            },
+        );
+        // "a line open" has the same function as "a open" (single
+        // occurrence): class 2 gains a member.
+        let class2 = &lib.classes()[1];
+        let vt = lib.vars().clone();
+        let names: Vec<String> = class2
+            .faults
+            .iter()
+            .map(|f| f.display(&vt).to_string())
+            .collect();
+        assert!(names.contains(&"a open".to_string()));
+        assert!(names.contains(&"a line open".to_string()));
+    }
+
+    #[test]
+    fn inverter_faults_merge_into_stuck_output_classes() {
+        let lib = FaultLibrary::generate_with(&fig9_cell(), FaultUniverse::full());
+        let zero = lib
+            .classes()
+            .iter()
+            .find(|c| c.function_string() == "0")
+            .unwrap();
+        assert!(zero.faults.contains(&PhysicalFault::InverterPOpen));
+        assert!(zero.faults.contains(&PhysicalFault::InverterNClosed));
+        let one = lib
+            .classes()
+            .iter()
+            .find(|c| c.function_string() == "1")
+            .unwrap();
+        assert!(one.faults.contains(&PhysicalFault::InverterNOpen));
+        assert!(one.faults.contains(&PhysicalFault::InverterPClosed));
+    }
+
+    #[test]
+    fn render_table_mentions_all_classes() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        let table = lib.render_table();
+        for c in 1..=10 {
+            assert!(table.contains(&format!("{c}  ")), "class {c} missing:\n{table}");
+        }
+        assert!(table.contains("CMOS-1"));
+        assert!(table.contains("timing only"));
+    }
+
+    #[test]
+    fn class_of_finds_home_class() {
+        let lib = FaultLibrary::generate(&fig9_cell());
+        let sites = fig9_cell().literal_sites();
+        let (site, var) = sites[0];
+        let c = lib
+            .class_of(PhysicalFault::SwitchClosed { site, var })
+            .unwrap();
+        assert_eq!(c.id, 1);
+        assert!(lib.class_of(PhysicalFault::EvaluateClosed).is_none());
+        let _ = VarId(0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Machine-checked validation of the section-3 theorems.
+//!
+//! The paper *proves* (on paper) that under assumptions A1/A2 no physical
+//! fault makes a dynamic MOS gate sequential, and gives the resulting
+//! logical fault for each physical fault. This module *checks* both claims
+//! mechanically, per cell, by exhaustive switch-level simulation:
+//!
+//! 1. **Combinationality** ([`check_combinational`]): for every input word
+//!    and several different charge histories, the faulty gate's valid
+//!    output is identical — the output at time `tᵢ` depends only on the
+//!    inputs at time `tᵢ`.
+//! 2. **Prediction** ([`validate_cell`]): the observed response equals the
+//!    faulty function that [`classify()`](crate::classify()) predicts. Faults whose
+//!    logical effect is ratio-dependent (`CMOS-3`, closed inverter
+//!    transistors) legitimately read `X` at the pure switch level on the
+//!    contended words; they are accepted there and resolved by the
+//!    `dynmos-switch` timing model instead.
+
+use crate::classify::{classify, DetectionRequirement};
+use crate::fault::PhysicalFault;
+use dynmos_logic::Bexpr;
+use dynmos_netlist::{Cell, Technology};
+use dynmos_switch::gates::{domino_gate, dynamic_nmos_gate, DominoGate, DynamicNmosGate};
+use dynmos_switch::{FaultSet, Logic, Sim, SwitchFault};
+
+/// Switch-level validation result for one physical fault.
+#[derive(Debug, Clone)]
+pub struct FaultValidation {
+    /// The fault validated.
+    pub fault: PhysicalFault,
+    /// `true` if the faulty gate behaved combinationally across all tested
+    /// histories (the paper's central claim).
+    pub combinational: bool,
+    /// `true` if every observed output matched the classified prediction
+    /// (with `X` accepted on at-speed faults' contended words).
+    pub matches_prediction: bool,
+    /// Words on which the observation was `X` (contention).
+    pub contended_words: Vec<u64>,
+}
+
+/// Validation result for all faults of a cell.
+#[derive(Debug, Clone)]
+pub struct CellValidation {
+    /// Cell name.
+    pub cell_name: String,
+    /// Per-fault results.
+    pub faults: Vec<FaultValidation>,
+}
+
+impl CellValidation {
+    /// `true` if every fault behaved combinationally.
+    pub fn all_combinational(&self) -> bool {
+        self.faults.iter().all(|f| f.combinational)
+    }
+
+    /// `true` if every fault matched its predicted faulty function.
+    pub fn all_match(&self) -> bool {
+        self.faults.iter().all(|f| f.matches_prediction)
+    }
+}
+
+/// A gate under test: either technology, one `evaluate` interface.
+enum GateUnderTest {
+    Domino(DominoGate),
+    Dynamic(DynamicNmosGate),
+}
+
+impl GateUnderTest {
+    fn build(cell: &Cell) -> Self {
+        match cell.technology() {
+            Technology::DominoCmos => GateUnderTest::Domino(
+                domino_gate(cell.transmission(), cell.input_count())
+                    .expect("cell transmissions are positive series-parallel"),
+            ),
+            Technology::DynamicNmos => GateUnderTest::Dynamic(
+                dynamic_nmos_gate(cell.transmission(), cell.input_count())
+                    .expect("cell transmissions are positive series-parallel"),
+            ),
+            other => panic!("switch-level validation supports dynamic technologies, not {other}"),
+        }
+    }
+
+    fn circuit(&self) -> &dynmos_switch::Circuit {
+        match self {
+            GateUnderTest::Domino(g) => &g.circuit,
+            GateUnderTest::Dynamic(g) => &g.circuit,
+        }
+    }
+
+    fn evaluate(&self, sim: &mut Sim<'_>, word: u64) -> Logic {
+        match self {
+            GateUnderTest::Domino(g) => g.evaluate(sim, word),
+            GateUnderTest::Dynamic(g) => g.evaluate(sim, word),
+        }
+    }
+
+    /// Maps a [`PhysicalFault`] to switch-level fault injections.
+    fn fault_set(&self, cell: &Cell, fault: PhysicalFault) -> FaultSet {
+        let mut set = FaultSet::new();
+        match (self, fault) {
+            (GateUnderTest::Domino(g), PhysicalFault::SwitchOpen { site, .. }) => {
+                set.inject(SwitchFault::StuckOpen(g.sn.transistors[site]));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::SwitchClosed { site, .. }) => {
+                set.inject(SwitchFault::StuckClosed(g.sn.transistors[site]));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::InputLineOpen { var }) => {
+                for &(v, t) in &g.sn.literal_sites {
+                    if v == var {
+                        set.inject(SwitchFault::GateOpen(t));
+                    }
+                }
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::PrechargeOpen) => {
+                set.inject(SwitchFault::StuckOpen(g.t1));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::PrechargeClosed) => {
+                set.inject(SwitchFault::StuckClosed(g.t1));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::EvaluateOpen) => {
+                set.inject(SwitchFault::StuckOpen(g.t2));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::EvaluateClosed) => {
+                set.inject(SwitchFault::StuckClosed(g.t2));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::InverterPOpen) => {
+                set.inject(SwitchFault::StuckOpen(g.inv_p));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::InverterPClosed) => {
+                set.inject(SwitchFault::StuckClosed(g.inv_p));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::InverterNOpen) => {
+                set.inject(SwitchFault::StuckOpen(g.inv_n));
+            }
+            (GateUnderTest::Domino(g), PhysicalFault::InverterNClosed) => {
+                set.inject(SwitchFault::StuckClosed(g.inv_n));
+            }
+            (GateUnderTest::Dynamic(g), PhysicalFault::SwitchOpen { site, .. }) => {
+                set.inject(SwitchFault::StuckOpen(g.sn.transistors[site]));
+            }
+            (GateUnderTest::Dynamic(g), PhysicalFault::SwitchClosed { site, .. }) => {
+                set.inject(SwitchFault::StuckClosed(g.sn.transistors[site]));
+            }
+            (GateUnderTest::Dynamic(g), PhysicalFault::InputLineOpen { var }) => {
+                for &(v, t) in &g.sn.literal_sites {
+                    if v == var {
+                        set.inject(SwitchFault::GateOpen(t));
+                    }
+                }
+            }
+            (GateUnderTest::Dynamic(g), PhysicalFault::PrechargeOpen) => {
+                set.inject(SwitchFault::StuckOpen(g.t_pre));
+            }
+            (GateUnderTest::Dynamic(g), PhysicalFault::PrechargeClosed) => {
+                set.inject(SwitchFault::StuckClosed(g.t_pre));
+            }
+            (_, other) => panic!("fault {other:?} has no switch-level site in this cell"),
+        }
+        let _ = cell;
+        set
+    }
+}
+
+/// Exhaustively checks that the gate with `fault` injected behaves
+/// combinationally: for every input word, the valid output after one full
+/// clock cycle is independent of the preceding history.
+///
+/// Histories tried per word `w`: the all-zeros word, the all-ones word and
+/// the bitwise complement of `w` — each preceded by an A2 conditioning
+/// sequence (one all-ones cycle, one all-zeros cycle) so assumption A2
+/// holds.
+///
+/// Returns `(combinational, responses)` where `responses[w]` is the agreed
+/// output (or the first-history output when disagreeing).
+pub fn check_combinational(cell: &Cell, fault: Option<PhysicalFault>) -> (bool, Vec<Logic>) {
+    let gate = GateUnderTest::build(cell);
+    let n = cell.input_count();
+    let all_ones = (1u64 << n) - 1;
+    let mut combinational = true;
+    let mut responses = Vec::with_capacity(1 << n);
+    for w in 0..(1u64 << n) {
+        let mut seen: Option<Logic> = None;
+        for history in [0u64, all_ones, !w & all_ones] {
+            let faults = match fault {
+                Some(f) => gate.fault_set(cell, f),
+                None => FaultSet::new(),
+            };
+            let mut sim = Sim::with_faults(gate.circuit(), faults);
+            // A2 conditioning: charge and discharge every node.
+            gate.evaluate(&mut sim, all_ones);
+            gate.evaluate(&mut sim, 0);
+            // History cycle, then the measured cycle.
+            gate.evaluate(&mut sim, history);
+            let out = gate.evaluate(&mut sim, w);
+            match seen {
+                None => seen = Some(out),
+                Some(prev) if prev != out => {
+                    combinational = false;
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        responses.push(seen.expect("at least one history ran"));
+    }
+    (combinational, responses)
+}
+
+/// Validates every enumerable fault of `cell` (paper-table universe plus
+/// line opens and inverter faults) against the switch-level simulator.
+///
+/// # Panics
+///
+/// Panics if the cell is not a dynamic technology (domino CMOS or dynamic
+/// nMOS) — the theorems are about those.
+pub fn validate_cell(cell: &Cell) -> CellValidation {
+    use crate::fault::{enumerate_faults, FaultUniverse};
+    let faults = enumerate_faults(cell, FaultUniverse::full());
+    let n = cell.input_count();
+    let mut results = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let effect = classify(cell, fault);
+        let (combinational, responses) = check_combinational(cell, Some(fault));
+        let accept_x = effect.requirement == DetectionRequirement::AtSpeed;
+        let mut matches = true;
+        let mut contended = Vec::new();
+        for (w, &got) in responses.iter().enumerate() {
+            let predicted = Logic::from_bool(eval_fn(&effect.function, w as u64));
+            if got == Logic::X {
+                contended.push(w as u64);
+                if !accept_x {
+                    matches = false;
+                }
+            } else if got != predicted {
+                matches = false;
+            }
+        }
+        let _ = n;
+        results.push(FaultValidation {
+            fault,
+            combinational,
+            matches_prediction: matches,
+            contended_words: contended,
+        });
+    }
+    CellValidation {
+        cell_name: cell.name().to_owned(),
+        faults: results,
+    }
+}
+
+fn eval_fn(f: &Bexpr, word: u64) -> bool {
+    f.eval_word(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmos_netlist::generate::{fig9_cell, random_domino_cell};
+    use dynmos_netlist::parse_cell;
+
+    #[test]
+    fn fault_free_fig9_is_combinational_and_correct() {
+        let cell = fig9_cell();
+        let (comb, responses) = check_combinational(&cell, None);
+        assert!(comb);
+        for (w, &r) in responses.iter().enumerate() {
+            assert_eq!(
+                r,
+                Logic::from_bool(cell.logic_function().eval_word(w as u64)),
+                "word {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_every_fault_is_combinational() {
+        // Theorem (a): "There is no fault, that changes a combinational
+        // behaviour into a sequential one."
+        let v = validate_cell(&fig9_cell());
+        for f in &v.faults {
+            assert!(
+                f.combinational,
+                "{:?} made the gate sequential",
+                f.fault
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_every_fault_matches_its_classified_function() {
+        let v = validate_cell(&fig9_cell());
+        for f in &v.faults {
+            assert!(
+                f.matches_prediction,
+                "{:?} deviated from prediction (contended words: {:?})",
+                f.fault, f.contended_words
+            );
+        }
+    }
+
+    #[test]
+    fn cmos3_contends_exactly_on_transmission_true_words() {
+        let cell = fig9_cell();
+        let v = validate_cell(&cell);
+        let cmos3 = v
+            .faults
+            .iter()
+            .find(|f| matches!(f.fault, PhysicalFault::PrechargeClosed))
+            .unwrap();
+        // Contention happens exactly where SN fights the closed precharge:
+        // words with T = 1.
+        let expect: Vec<u64> = (0..32u64)
+            .filter(|&w| cell.transmission().eval_word(w))
+            .collect();
+        assert_eq!(cmos3.contended_words, expect);
+    }
+
+    #[test]
+    fn dynamic_nmos_nor_validates() {
+        let cell =
+            parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let v = validate_cell(&cell);
+        assert!(v.all_combinational());
+        assert!(v.all_match(), "{:#?}", v.faults);
+    }
+
+    #[test]
+    fn dynamic_nmos_series_gate_validates() {
+        let cell = parse_cell(
+            "aoi",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b,c; OUTPUT z; z := a*b+c;",
+        )
+        .unwrap();
+        let v = validate_cell(&cell);
+        assert!(v.all_combinational());
+        assert!(v.all_match(), "{:#?}", v.faults);
+    }
+
+    #[test]
+    fn random_domino_cells_validate() {
+        for seed in 0..4 {
+            let cell = random_domino_cell(seed, 4, 6);
+            let v = validate_cell(&cell);
+            assert!(v.all_combinational(), "seed {seed}");
+            assert!(v.all_match(), "seed {seed}: {:#?}", v.faults);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic technologies")]
+    fn static_cell_validation_panics() {
+        let cell =
+            parse_cell("g", "TECHNOLOGY static-CMOS; INPUT a; OUTPUT z; z := a;").unwrap();
+        validate_cell(&cell);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the fault model and library generator.
+
+use dynmos_core::{
+    classify, enumerate_faults, substitute_site, validate_cell, DetectionRequirement,
+    FaultLibrary, FaultUniverse, PhysicalFault,
+};
+use dynmos_logic::{Bexpr, TruthTable, VarId};
+use dynmos_netlist::{Cell, Technology};
+use proptest::prelude::*;
+
+/// Strategy: a positive series-parallel expression over `nvars` variables.
+fn arb_sp_expr(nvars: usize) -> impl Strategy<Value = Bexpr> {
+    let leaf = (0..nvars as u32).prop_map(|v| Bexpr::var(VarId(v)));
+    leaf.prop_recursive(3, 10, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Bexpr::and),
+            prop::collection::vec(inner, 2..4).prop_map(Bexpr::or),
+        ]
+    })
+}
+
+/// Strategy: a domino or dynamic nMOS cell with 3 inputs.
+fn arb_dynamic_cell() -> impl Strategy<Value = Cell> {
+    (arb_sp_expr(3), prop::bool::ANY).prop_map(|(t, domino)| {
+        let tech = if domino {
+            Technology::DominoCmos
+        } else {
+            Technology::DynamicNmos
+        };
+        Cell::from_transmission("prop", tech, &["a", "b", "c"], t)
+    })
+}
+
+fn count_literals(e: &Bexpr) -> usize {
+    match e {
+        Bexpr::Var(_) => 1,
+        Bexpr::Not(i) => count_literals(i),
+        Bexpr::And(ts) | Bexpr::Or(ts) => ts.iter().map(count_literals).sum(),
+        Bexpr::Const(_) => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// substitute_site changes at most the rows where the targeted
+    /// literal matters, and reduces the literal count by one (constants
+    /// fold).
+    #[test]
+    fn substitute_site_reduces_literals(t in arb_sp_expr(4), value: bool) {
+        let lits = count_literals(&t);
+        prop_assume!(lits >= 1);
+        for site in 0..lits {
+            let sub = substitute_site(&t, site, value);
+            prop_assert!(count_literals(&sub) < lits, "site {}", site);
+        }
+    }
+
+    /// A switch-open fault's function implies the fault-free one
+    /// (monotone damage); switch-closed is implied by it. For domino
+    /// (non-inverted) outputs.
+    #[test]
+    fn switch_faults_are_monotone_on_domino(t in arb_sp_expr(3)) {
+        let cell = Cell::from_transmission("g", Technology::DominoCmos, &["a", "b", "c"], t);
+        let good = TruthTable::from_expr(&cell.logic_function(), 3);
+        for fault in enumerate_faults(&cell, FaultUniverse::paper_table()) {
+            let effect = classify(&cell, fault);
+            let bad = TruthTable::from_expr(&effect.function, 3);
+            match fault {
+                PhysicalFault::SwitchOpen { .. } => {
+                    // bad <= good pointwise.
+                    prop_assert!(bad.and(&good.not()).is_zero(), "{fault:?}");
+                }
+                PhysicalFault::SwitchClosed { .. } => {
+                    prop_assert!(good.and(&bad.not()).is_zero(), "{fault:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Library generation partitions the fault universe: every enumerated
+    /// fault lands in exactly one class or the timing-only bucket.
+    #[test]
+    fn library_partitions_faults(cell in arb_dynamic_cell()) {
+        let lib = FaultLibrary::generate(&cell);
+        let universe = enumerate_faults(&cell, FaultUniverse::paper_table());
+        for fault in &universe {
+            let in_class = lib.class_of(*fault).is_some();
+            let in_timing = lib.timing_only().contains(fault);
+            prop_assert!(in_class ^ in_timing, "{fault:?} in {} places",
+                usize::from(in_class) + usize::from(in_timing));
+        }
+        let members: usize = lib.classes().iter().map(|c| c.faults.len()).sum();
+        prop_assert_eq!(members + lib.timing_only().len(), universe.len());
+    }
+
+    /// Classes are pairwise distinguishable and differ from fault-free.
+    #[test]
+    fn classes_are_distinct(cell in arb_dynamic_cell()) {
+        let lib = FaultLibrary::generate(&cell);
+        let good = lib.fault_free_table();
+        for (i, a) in lib.classes().iter().enumerate() {
+            prop_assert_ne!(&a.table, good, "class {} equals fault-free", a.id);
+            for b in &lib.classes()[i + 1..] {
+                prop_assert_ne!(&a.table, &b.table, "classes {} and {} collide", a.id, b.id);
+            }
+        }
+    }
+
+    /// Every class has at least one test pattern, and every pattern
+    /// distinguishes it.
+    #[test]
+    fn classes_are_testable(cell in arb_dynamic_cell()) {
+        let lib = FaultLibrary::generate(&cell);
+        for class in lib.classes() {
+            let patterns = lib.test_patterns(class.id);
+            prop_assert!(!patterns.is_empty(), "class {} untestable", class.id);
+            for p in patterns {
+                prop_assert_ne!(lib.fault_free_table().get(p), class.table.get(p));
+            }
+        }
+    }
+
+    /// The classified stuck-at annotation, when present, is consistent
+    /// with the faulty function.
+    #[test]
+    fn stuck_at_annotation_is_consistent(cell in arb_dynamic_cell()) {
+        use dynmos_core::StuckAt;
+        for fault in enumerate_faults(&cell, FaultUniverse::full()) {
+            let effect = classify(&cell, fault);
+            match effect.stuck_at {
+                Some(StuckAt::Output { value }) => {
+                    prop_assert_eq!(effect.function, Bexpr::Const(value), "{:?}", fault);
+                }
+                Some(StuckAt::Input { var, value }) => {
+                    let direct = cell.logic_function().substitute(var, value);
+                    let ta = TruthTable::from_expr(&effect.function, 3);
+                    let tb = TruthTable::from_expr(&direct, 3);
+                    prop_assert_eq!(ta, tb, "{:?}", fault);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// In the paper-table universe, CMOS-1 is always timing-only for
+    /// domino cells; any *other* timing-only fault must be a switch fault
+    /// on a logically redundant literal (e.g. a duplicated series
+    /// transistor in `T = b*b`) — the clocking faults always have an
+    /// effect.
+    #[test]
+    fn timing_only_is_cmos1_or_redundant_switch(cell in arb_dynamic_cell()) {
+        let lib = FaultLibrary::generate(&cell);
+        let timing = lib.timing_only();
+        match cell.technology() {
+            Technology::DominoCmos => {
+                prop_assert!(timing.contains(&PhysicalFault::EvaluateClosed));
+            }
+            Technology::DynamicNmos => {
+                prop_assert!(!timing.contains(&PhysicalFault::PrechargeOpen));
+                prop_assert!(!timing.contains(&PhysicalFault::PrechargeClosed));
+            }
+            _ => unreachable!("strategy only produces dynamic cells"),
+        }
+        for f in timing {
+            prop_assert!(
+                matches!(
+                    f,
+                    PhysicalFault::EvaluateClosed
+                        | PhysicalFault::SwitchOpen { .. }
+                        | PhysicalFault::SwitchClosed { .. }
+                ),
+                "{f:?} cannot be timing-only"
+            );
+        }
+    }
+
+    /// At-speed requirement appears only on the documented faults.
+    #[test]
+    fn at_speed_faults_are_the_documented_ones(cell in arb_dynamic_cell()) {
+        for fault in enumerate_faults(&cell, FaultUniverse::full()) {
+            let effect = classify(&cell, fault);
+            let expect_at_speed = matches!(
+                (cell.technology(), fault),
+                (Technology::DominoCmos, PhysicalFault::PrechargeClosed)
+                    | (Technology::DominoCmos, PhysicalFault::InverterPClosed)
+                    | (Technology::DominoCmos, PhysicalFault::InverterNClosed)
+            );
+            prop_assert_eq!(
+                effect.requirement == DetectionRequirement::AtSpeed,
+                expect_at_speed,
+                "{:?}", fault
+            );
+        }
+    }
+}
+
+/// Slow but decisive: sampled switch-level validation on random cells
+/// (bounded count — the exhaustive corpus run lives in `dynmos-bench`).
+#[test]
+fn sampled_cells_validate_at_switch_level() {
+    use dynmos_netlist::generate::random_domino_cell;
+    for seed in 100..104 {
+        let cell = random_domino_cell(seed, 3, 5);
+        let v = validate_cell(&cell);
+        assert!(v.all_combinational(), "seed {seed}");
+        assert!(v.all_match(), "seed {seed}");
+    }
+}

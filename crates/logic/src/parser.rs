@@ -1,0 +1,334 @@
+//! Parser for the paper's cell expression syntax.
+//!
+//! The paper describes switching networks "in an elementary way":
+//!
+//! ```text
+//! s*a     s and a are connected in series    (conjunction)
+//! s+a     s and a are connected in parallel  (disjunction)
+//! ```
+//!
+//! We additionally accept the `/` prefix for complement (needed for the
+//! inverse transmission function of dynamic nMOS and for printing faulty
+//! functions), parentheses, and the constants `0`/`1`.
+//!
+//! Grammar (standard precedence, `*` over `+`, `/` tightest):
+//!
+//! ```text
+//! expr    := term ('+' term)*
+//! term    := factor ('*' factor)*
+//! factor  := '/' factor | '(' expr ')' | ident | '0' | '1'
+//! ident   := [A-Za-z_][A-Za-z0-9_]*
+//! assigns := (ident ':=' expr ';')*
+//! ```
+
+use crate::error::ParseExprError;
+use crate::expr::Bexpr;
+use crate::vars::{VarId, VarTable};
+
+/// Parses a single expression such as `a*(b+c)+d*e`.
+///
+/// New identifiers are interned into `vars` in first-seen order.
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] on malformed input (dangling operator,
+/// unbalanced parenthesis, trailing garbage, empty input).
+///
+/// # Example
+///
+/// ```
+/// use dynmos_logic::{parse_expr, VarTable};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut vars = VarTable::new();
+/// let e = parse_expr("/(a+b)*c", &mut vars)?;
+/// assert_eq!(vars.len(), 3);
+/// assert!(e.eval_word(0b100)); // a=0,b=0,c=1
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_expr(input: &str, vars: &mut VarTable) -> Result<Bexpr, ParseExprError> {
+    let mut p = Parser::new(input, vars);
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(ParseExprError::new(p.pos, "trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a list of assignments in the paper's cell-description style:
+///
+/// ```text
+/// x1 := a*(b+c);
+/// x2 := d*e;
+/// u  := x1+x2;
+/// ```
+///
+/// Returns the assignments in source order as `(target, expression)` pairs.
+/// Targets are interned like ordinary variables, which lets later lines
+/// refer to earlier targets (the netlist layer substitutes them away).
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] if an assignment is malformed or a `;` is
+/// missing between assignments.
+pub fn parse_assignments(
+    input: &str,
+    vars: &mut VarTable,
+) -> Result<Vec<(VarId, Bexpr)>, ParseExprError> {
+    let mut p = Parser::new(input, vars);
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.pos >= p.bytes.len() {
+            break;
+        }
+        let start = p.pos;
+        let name = p
+            .ident()
+            .ok_or_else(|| ParseExprError::new(start, "expected assignment target"))?;
+        let target = p.vars.intern(&name);
+        p.skip_ws();
+        if !p.eat_str(":=") {
+            return Err(ParseExprError::new(p.pos, "expected ':='"));
+        }
+        let rhs = p.expr()?;
+        p.skip_ws();
+        if !p.eat(b';') {
+            return Err(ParseExprError::new(p.pos, "expected ';' after assignment"));
+        }
+        out.push((target, rhs));
+    }
+    Ok(out)
+}
+
+struct Parser<'a, 'v> {
+    bytes: &'a [u8],
+    pos: usize,
+    vars: &'v mut VarTable,
+}
+
+impl<'a, 'v> Parser<'a, 'v> {
+    fn new(input: &'a str, vars: &'v mut VarTable) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+            vars,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.pos += 1,
+            _ => return None,
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expr(&mut self) -> Result<Bexpr, ParseExprError> {
+        let mut terms = vec![self.term()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b'+') {
+                terms.push(self.term()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Bexpr::or(terms))
+    }
+
+    fn term(&mut self) -> Result<Bexpr, ParseExprError> {
+        let mut factors = vec![self.factor()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b'*') {
+                factors.push(self.factor()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Bexpr::and(factors))
+    }
+
+    fn factor(&mut self) -> Result<Bexpr, ParseExprError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'/') => {
+                self.pos += 1;
+                Ok(Bexpr::not(self.factor()?))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.skip_ws();
+                if !self.eat(b')') {
+                    return Err(ParseExprError::new(self.pos, "expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(Bexpr::FALSE)
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Ok(Bexpr::TRUE)
+            }
+            _ => {
+                let start = self.pos;
+                let name = self
+                    .ident()
+                    .ok_or_else(|| ParseExprError::new(start, "expected identifier, '(', '/', '0' or '1'"))?;
+                Ok(Bexpr::var(self.vars.intern(&name)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig9_gate() {
+        let mut vars = VarTable::new();
+        let u = parse_expr("a*(b+c)+d*e", &mut vars).unwrap();
+        assert_eq!(vars.len(), 5);
+        // a=1,b=1 -> true regardless of d,e
+        assert!(u.eval_word(0b00011));
+        // d=1,e=1 -> true
+        assert!(u.eval_word(0b11000));
+        // a=1 alone -> false
+        assert!(!u.eval_word(0b00001));
+    }
+
+    #[test]
+    fn precedence_star_over_plus() {
+        let mut vars = VarTable::new();
+        let e = parse_expr("a+b*c", &mut vars).unwrap();
+        // a=0, b=1, c=0 => false (b*c not satisfied)
+        assert!(!e.eval_word(0b010));
+        // a=1 => true
+        assert!(e.eval_word(0b001));
+    }
+
+    #[test]
+    fn complement_binds_tightest() {
+        let mut vars = VarTable::new();
+        let e = parse_expr("/a*b", &mut vars).unwrap();
+        // (/a)*b : a=0,b=1 -> true
+        assert!(e.eval_word(0b10));
+        assert!(!e.eval_word(0b11));
+    }
+
+    #[test]
+    fn constants() {
+        let mut vars = VarTable::new();
+        assert_eq!(parse_expr("1", &mut vars).unwrap(), Bexpr::TRUE);
+        assert_eq!(parse_expr("0+0", &mut vars).unwrap(), Bexpr::FALSE);
+        assert_eq!(parse_expr("a*1", &mut vars).unwrap(), Bexpr::var(VarId(0)));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let mut vars = VarTable::new();
+        let e = parse_expr("  a * ( b + c ) ", &mut vars).unwrap();
+        assert!(e.eval_word(0b011));
+    }
+
+    #[test]
+    fn error_on_dangling_operator() {
+        let mut vars = VarTable::new();
+        assert!(parse_expr("a*", &mut vars).is_err());
+        assert!(parse_expr("+a", &mut vars).is_err());
+        assert!(parse_expr("a*+b", &mut vars).is_err());
+    }
+
+    #[test]
+    fn error_on_unbalanced_paren() {
+        let mut vars = VarTable::new();
+        let err = parse_expr("(a+b", &mut vars).unwrap_err();
+        assert!(err.message().contains("')'"));
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let mut vars = VarTable::new();
+        assert!(parse_expr("a b", &mut vars).is_err());
+    }
+
+    #[test]
+    fn error_on_empty() {
+        let mut vars = VarTable::new();
+        assert!(parse_expr("", &mut vars).is_err());
+        assert!(parse_expr("   ", &mut vars).is_err());
+    }
+
+    #[test]
+    fn parses_paper_assignment_block() {
+        let mut vars = VarTable::new();
+        let text = "x1 := a*(b+c);\nx2 := d*e;\nu := x1+x2;\n";
+        let assigns = parse_assignments(text, &mut vars).unwrap();
+        assert_eq!(assigns.len(), 3);
+        let (u_id, u_rhs) = &assigns[2];
+        assert_eq!(vars.name(*u_id), "u");
+        let x1 = vars.get("x1").unwrap();
+        let x2 = vars.get("x2").unwrap();
+        assert_eq!(
+            *u_rhs,
+            Bexpr::or(vec![Bexpr::var(x1), Bexpr::var(x2)])
+        );
+    }
+
+    #[test]
+    fn assignment_errors() {
+        let mut vars = VarTable::new();
+        assert!(parse_assignments("x1 = a;", &mut vars).is_err()); // '=' not ':='
+        assert!(parse_assignments("x1 := a", &mut vars).is_err()); // missing ';'
+        assert!(parse_assignments(":= a;", &mut vars).is_err()); // missing target
+    }
+
+    #[test]
+    fn empty_assignment_list_is_ok() {
+        let mut vars = VarTable::new();
+        assert!(parse_assignments("", &mut vars).unwrap().is_empty());
+        assert!(parse_assignments("  \n ", &mut vars).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact signal probabilities.
+//!
+//! PROTEST's whole pipeline (Fig. 8 of the paper) rests on computing, for a
+//! Boolean function `f` and independent input-signal probabilities `p_i`,
+//! the probability that `f` evaluates to 1 under a random pattern. This
+//! module provides the *exact* computation used as ground truth; the
+//! `dynmos-protest` crate layers the fast topological estimator and the
+//! optimizer on top.
+
+use crate::expr::Bexpr;
+use crate::table::TruthTable;
+use crate::vars::VarId;
+use std::collections::HashMap;
+
+/// Exact probability that the function of `table` evaluates to 1 when input
+/// `i` is independently 1 with probability `probs[i]`.
+///
+/// Runs in `O(2^n)` over the truth table — this is the ground-truth oracle
+/// for PROTEST's estimators, fine for the paper's cell-sized functions.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != table.nvars()` or any probability is outside
+/// `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_logic::{parse_expr, signal_probability, TruthTable, VarTable};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut vars = VarTable::new();
+/// let f = parse_expr("a*b", &mut vars)?;
+/// let tt = TruthTable::from_expr(&f, 2);
+/// let p = signal_probability(&tt, &[0.5, 0.5]);
+/// assert!((p - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn signal_probability(table: &TruthTable, probs: &[f64]) -> f64 {
+    assert_eq!(
+        probs.len(),
+        table.nvars(),
+        "need one probability per variable"
+    );
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+    }
+    let mut total = 0.0;
+    for row in table.ones_iter() {
+        let mut w = 1.0;
+        for (i, &p) in probs.iter().enumerate() {
+            w *= if (row >> i) & 1 == 1 { p } else { 1.0 - p };
+        }
+        total += w;
+    }
+    total
+}
+
+/// Exact signal probability evaluated structurally on an expression via
+/// Shannon expansion with memoization.
+///
+/// Equivalent to [`signal_probability`] but does not materialize the truth
+/// table; useful when the support is wide but the expression is shallow.
+///
+/// # Panics
+///
+/// Panics if the expression references a variable `>= probs.len()` or any
+/// probability is outside `[0, 1]`.
+pub fn signal_probability_expr(expr: &Bexpr, probs: &[f64]) -> f64 {
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+    }
+    let support = expr.support();
+    if let Some(max) = support.last() {
+        assert!(max.index() < probs.len(), "variable {max} has no probability");
+    }
+    let mut memo: HashMap<(usize, u64), f64> = HashMap::new();
+    shannon(expr, &support, 0, 0, probs, &mut memo)
+}
+
+fn shannon(
+    expr: &Bexpr,
+    support: &[VarId],
+    depth: usize,
+    path: u64,
+    probs: &[f64],
+    memo: &mut HashMap<(usize, u64), f64>,
+) -> f64 {
+    if let Some(&v) = memo.get(&(depth, path)) {
+        return v;
+    }
+    let result = if depth == support.len() {
+        // Fully assigned: expr is constant.
+        match const_value(expr) {
+            Some(true) => 1.0,
+            Some(false) => 0.0,
+            None => unreachable!("expression not constant after full assignment"),
+        }
+    } else {
+        let var = support[depth];
+        let p = probs[var.index()];
+        let hi = expr.substitute(var, true);
+        let lo = expr.substitute(var, false);
+        p * shannon(&hi, support, depth + 1, path | (1 << depth), probs, memo)
+            + (1.0 - p) * shannon(&lo, support, depth + 1, path, probs, memo)
+    };
+    memo.insert((depth, path), result);
+    result
+}
+
+fn const_value(expr: &Bexpr) -> Option<bool> {
+    match expr {
+        Bexpr::Const(b) => Some(*b),
+        Bexpr::Not(e) => const_value(e).map(|b| !b),
+        Bexpr::And(ts) => {
+            let mut acc = true;
+            for t in ts {
+                acc &= const_value(t)?;
+            }
+            Some(acc)
+        }
+        Bexpr::Or(ts) => {
+            let mut acc = false;
+            for t in ts {
+                acc |= const_value(t)?;
+            }
+            Some(acc)
+        }
+        Bexpr::Var(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::vars::VarTable;
+
+    fn tt(s: &str) -> (TruthTable, Bexpr, usize) {
+        let mut vars = VarTable::new();
+        let e = parse_expr(s, &mut vars).unwrap();
+        let n = vars.len();
+        (TruthTable::from_expr(&e, n), e, n)
+    }
+
+    #[test]
+    fn uniform_inputs_give_density() {
+        let (t, _, n) = tt("a*(b+c)+d*e");
+        let p = signal_probability(&t, &vec![0.5; n]);
+        assert!((p - t.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_or_probabilities_multiply_correctly() {
+        let (t, _, _) = tt("a*b");
+        assert!((signal_probability(&t, &[0.3, 0.7]) - 0.21).abs() < 1e-12);
+        let (t, _, _) = tt("a+b");
+        // P(a+b) = 1 - (1-0.3)(1-0.7) = 0.79
+        assert!((signal_probability(&t, &[0.3, 0.7]) - 0.79).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_probability() {
+        let (t, _, _) = tt("/a");
+        assert!((signal_probability(&t, &[0.2]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let (t, _, _) = tt("a*b");
+        assert_eq!(signal_probability(&t, &[1.0, 1.0]), 1.0);
+        assert_eq!(signal_probability(&t, &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn expr_variant_matches_table_variant() {
+        let (t, e, n) = tt("a*(b+c)+/d*e");
+        let probs: Vec<f64> = (0..n).map(|i| 0.1 + 0.15 * i as f64).collect();
+        let p_table = signal_probability(&t, &probs);
+        let p_expr = signal_probability_expr(&e, &probs);
+        assert!((p_table - p_expr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expr_variant_with_reconvergent_fanout() {
+        // a appears twice (reconvergence); exact methods must handle the
+        // correlation that topological estimators get wrong.
+        let (t, e, n) = tt("a*b+a*/b");
+        let probs = vec![0.3; n];
+        let exact = signal_probability(&t, &probs);
+        assert!((exact - 0.3).abs() < 1e-12); // f == a
+        assert!((signal_probability_expr(&e, &probs) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_invalid_probability() {
+        let (t, _, n) = tt("a*b");
+        let _ = n;
+        signal_probability(&t, &[1.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per variable")]
+    fn rejects_wrong_arity() {
+        let (t, _, _) = tt("a*b");
+        signal_probability(&t, &[0.5]);
+    }
+
+    #[test]
+    fn constant_expressions() {
+        let probs: [f64; 0] = [];
+        assert_eq!(signal_probability_expr(&Bexpr::TRUE, &probs), 1.0);
+        assert_eq!(signal_probability_expr(&Bexpr::FALSE, &probs), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the Boolean substrate.
+
+use dynmos_logic::{
+    min_dnf, parse_expr, prime_implicants, signal_probability, signal_probability_expr, Bexpr,
+    Cube, TruthTable, VarId, VarTable,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary expression over `nvars` variables (with
+/// complements and constants), depth-bounded.
+fn arb_expr(nvars: usize) -> impl Strategy<Value = Bexpr> {
+    let leaf = prop_oneof![
+        (0..nvars as u32).prop_map(|v| Bexpr::var(VarId(v))),
+        Just(Bexpr::FALSE),
+        Just(Bexpr::TRUE),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Bexpr::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Bexpr::and),
+            prop::collection::vec(inner, 2..4).prop_map(Bexpr::or),
+        ]
+    })
+}
+
+/// Strategy: a positive series-parallel expression (switch-network form).
+fn arb_sp_expr(nvars: usize) -> impl Strategy<Value = Bexpr> {
+    let leaf = (0..nvars as u32).prop_map(|v| Bexpr::var(VarId(v)));
+    leaf.prop_recursive(4, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Bexpr::and),
+            prop::collection::vec(inner, 2..4).prop_map(Bexpr::or),
+        ]
+    })
+}
+
+fn var_table(nvars: usize) -> VarTable {
+    let mut t = VarTable::new();
+    for i in 0..nvars {
+        t.intern(&format!("v{i}"));
+    }
+    t
+}
+
+proptest! {
+    /// Printing and re-parsing preserves the function.
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr(5)) {
+        let vars = var_table(5);
+        let printed = e.display(&vars).to_string();
+        let mut vars2 = vars.clone();
+        let reparsed = parse_expr(&printed, &mut vars2).expect("own output parses");
+        for w in 0..32u64 {
+            prop_assert_eq!(e.eval_word(w), reparsed.eval_word(w), "at {}", printed);
+        }
+    }
+
+    /// Truth-table construction agrees with direct evaluation.
+    #[test]
+    fn table_matches_eval(e in arb_expr(6)) {
+        let t = TruthTable::from_expr(&e, 6);
+        for w in 0..64u64 {
+            prop_assert_eq!(t.get(w), e.eval_word(w));
+        }
+    }
+
+    /// Packed 64-lane evaluation agrees with scalar evaluation.
+    #[test]
+    fn eval_lanes_matches_scalar(e in arb_expr(6), seed in any::<u64>()) {
+        // Build arbitrary lane data per variable from the seed.
+        let lane_data: Vec<u64> = (0..6)
+            .map(|i| seed.rotate_left(11 * i).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let packed = e.eval_lanes(&|v: VarId| lane_data[v.index()]);
+        for lane in 0..64u64 {
+            let word: u64 = (0..6)
+                .map(|i| ((lane_data[i] >> lane) & 1) << i)
+                .sum();
+            prop_assert_eq!((packed >> lane) & 1 == 1, e.eval_word(word));
+        }
+    }
+
+    /// min_dnf is logically equivalent to its input.
+    #[test]
+    fn min_dnf_equivalence(e in arb_expr(5)) {
+        let t = TruthTable::from_expr(&e, 5);
+        let dnf = min_dnf(&t);
+        for w in 0..32u64 {
+            prop_assert_eq!(dnf.contains(w), t.get(w));
+        }
+    }
+
+    /// min_dnf never uses more cubes than there are minterms, and every
+    /// cube is a prime implicant.
+    #[test]
+    fn min_dnf_cubes_are_primes(e in arb_expr(5)) {
+        let t = TruthTable::from_expr(&e, 5);
+        let dnf = min_dnf(&t);
+        prop_assert!(dnf.len() as u64 <= t.count_ones().max(1));
+        let primes = prime_implicants(&t);
+        for cube in dnf.cubes() {
+            if t.is_one() {
+                break; // the universal cube is represented specially
+            }
+            prop_assert!(primes.contains(cube), "{cube:?} not prime");
+        }
+    }
+
+    /// Every prime implicant implies the function.
+    #[test]
+    fn primes_imply_function(e in arb_expr(5)) {
+        let t = TruthTable::from_expr(&e, 5);
+        for p in prime_implicants(&t) {
+            for w in 0..32u64 {
+                if p.contains(w) {
+                    prop_assert!(t.get(w), "prime {p:?} outside function at {w}");
+                }
+            }
+        }
+    }
+
+    /// Signal probability is a probability and matches the expression
+    /// variant.
+    #[test]
+    fn signal_probability_consistency(
+        e in arb_expr(5),
+        probs in prop::collection::vec(0.0f64..=1.0, 5),
+    ) {
+        let t = TruthTable::from_expr(&e, 5);
+        let p_table = signal_probability(&t, &probs);
+        let p_expr = signal_probability_expr(&e, &probs);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p_table));
+        prop_assert!((p_table - p_expr).abs() < 1e-9);
+    }
+
+    /// De Morgan on truth tables.
+    #[test]
+    fn de_morgan(a in arb_expr(4), b in arb_expr(4)) {
+        let ta = TruthTable::from_expr(&a, 4);
+        let tb = TruthTable::from_expr(&b, 4);
+        prop_assert_eq!(ta.and(&tb).not(), ta.not().or(&tb.not()));
+        prop_assert_eq!(ta.or(&tb).not(), ta.not().and(&tb.not()));
+    }
+
+    /// Cofactor reconstruction: f = x·f|x=1 + /x·f|x=0 (Shannon).
+    #[test]
+    fn shannon_reconstruction(e in arb_expr(4), var in 0u32..4) {
+        let t = TruthTable::from_expr(&e, 4);
+        let v = VarId(var);
+        let f1 = t.cofactor(v, true);
+        let f0 = t.cofactor(v, false);
+        for w in 0..16u64 {
+            let bit = (w >> var) & 1 == 1;
+            let low_mask = (1u64 << var) - 1;
+            let reduced = ((w >> 1) & !low_mask) | (w & low_mask);
+            let expect = if bit { f1.get(reduced) } else { f0.get(reduced) };
+            prop_assert_eq!(t.get(w), expect);
+        }
+    }
+
+    /// Cube merge soundness: the merged cube covers exactly the union.
+    #[test]
+    fn cube_merge_soundness(care in 0u64..64, val in 0u64..64, flip in 0u32..6) {
+        let care = care | (1 << flip);
+        let a = Cube::new(care, val);
+        let b = Cube::new(care, val ^ (1 << flip));
+        if let Some(m) = a.merge(&b) {
+            for w in 0..64u64 {
+                prop_assert_eq!(m.contains(w), a.contains(w) || b.contains(w));
+            }
+        } else {
+            prop_assert!(false, "single-bit difference must merge");
+        }
+    }
+
+    /// Substitution removes the variable from the support.
+    #[test]
+    fn substitute_removes_from_support(e in arb_sp_expr(5), var in 0u32..5, value: bool) {
+        let sub = e.substitute(VarId(var), value);
+        prop_assert!(!sub.support().contains(&VarId(var)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Gate-level substrate: technology-tagged cells and networks.
+//!
+//! The paper's PROTEST tool consumes "a circuit description and a
+//! functional description of the used cells" (Fig. 8). A cell description
+//! looks like (Fig. 9):
+//!
+//! ```text
+//! TECHNOLOGY domino-CMOS;
+//! INPUT a,b,c,d,e;
+//! OUTPUT u;
+//! x1 := a*(b+c);
+//! x2 := d*e;
+//! u  := x1+x2;
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Technology`] — the five technology-dependent parameters of the
+//!   paper's cell description (nMOS pull-down, static CMOS, bipolar,
+//!   dynamic nMOS, domino CMOS),
+//! * [`CellDescription`] / [`parse_cell`] — the description language,
+//! * [`Cell`] — a compiled cell: flattened transmission function plus the
+//!   technology-determined logic function of the output,
+//! * [`Network`] — combinational networks of cell instances with
+//!   single-clock (domino) or two-phase (dynamic nMOS) clocking
+//!   discipline checks and packed 64-lane evaluation,
+//! * [`generate`] — a seeded circuit corpus (adders, trees, comparators,
+//!   random cells) standing in for the unspecified 1986 benchmark set.
+
+pub mod cell;
+pub mod generate;
+pub mod network;
+pub mod parse;
+pub mod tech;
+pub mod to_switch;
+
+pub use cell::{Cell, CellDescription, CompileCellError};
+pub use network::{
+    GateRef, NetId, Network, NetworkBuilder, NetworkError, NetworkFault, Phase,
+};
+pub use parse::{parse_cell, ParseCellError};
+pub use tech::Technology;
+pub use to_switch::{domino_to_switch, SwitchRealization, ToSwitchError};

@@ -1,0 +1,318 @@
+//! Flattening domino networks into one transistor-level circuit.
+//!
+//! The paper's Fig. 5 shows a *network* of domino gates under a single
+//! clock. Gate-level evaluation (see [`crate::Network`]) models each gate
+//! as its logic function; [`domino_to_switch`] instead instantiates every
+//! gate's transistors (precharge `T1`, switch network, foot `T2`, output
+//! inverter) into **one** switch-level circuit, wiring gate outputs to the
+//! switch networks of their consumers. The relaxation simulator then
+//! reproduces the domino ripple electrically — including the monotone-rise
+//! behaviour and genuine multi-gate fault effects.
+//!
+//! Two-phase dynamic nMOS networks are *not* flattened here: their input
+//! pass transistors need per-phase clock routing and a multi-cycle
+//! schedule; the single-gate builder in `dynmos-switch` covers the
+//! per-cell analysis the paper performs.
+
+use crate::network::{Network, NetId};
+use crate::tech::Technology;
+use dynmos_switch::sn::build_sn;
+use dynmos_switch::{Circuit, CircuitBuilder, FetKind, Logic, NodeId, Sim, TransistorId};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`domino_to_switch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToSwitchError {
+    /// A gate uses a technology other than domino CMOS.
+    NotDomino {
+        /// Offending gate index.
+        gate: usize,
+        /// Its technology.
+        technology: Technology,
+    },
+    /// A cell's transmission function is not positive series-parallel
+    /// (cannot be realized as a switch network).
+    BadTransmission(String),
+}
+
+impl fmt::Display for ToSwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToSwitchError::NotDomino { gate, technology } => {
+                write!(f, "gate g{gate} is {technology}, not domino CMOS")
+            }
+            ToSwitchError::BadTransmission(m) => write!(f, "bad transmission function: {m}"),
+        }
+    }
+}
+
+impl Error for ToSwitchError {}
+
+/// The transistor-level parts instantiated for one domino gate.
+#[derive(Debug, Clone)]
+pub struct DominoParts {
+    /// Precharge p-transistor `T1`.
+    pub t1: TransistorId,
+    /// Foot n-transistor `T2`.
+    pub t2: TransistorId,
+    /// Output inverter pull-up / pull-down.
+    pub inv_p: TransistorId,
+    /// Output inverter pull-down.
+    pub inv_n: TransistorId,
+    /// Internal precharged node `y`.
+    pub y: NodeId,
+    /// Switch-network transistors, in the cell's literal-site order (the
+    /// fault-injection addresses for the paper's per-site faults).
+    pub sn_sites: Vec<TransistorId>,
+}
+
+/// A domino network flattened to transistors.
+#[derive(Debug, Clone)]
+pub struct SwitchRealization {
+    /// The flat transistor circuit.
+    pub circuit: Circuit,
+    /// The single domino clock `Φ`.
+    pub clock: NodeId,
+    /// Switch node per network net (`NetId`-indexed).
+    pub net_nodes: Vec<NodeId>,
+    /// Per-gate transistor parts (gate-index order).
+    pub gates: Vec<DominoParts>,
+    /// Primary inputs (network order).
+    pub pi_nodes: Vec<NodeId>,
+    /// Primary outputs (network order).
+    pub po_nodes: Vec<NodeId>,
+}
+
+impl SwitchRealization {
+    /// Runs one full precharge/evaluate cycle on `sim` and returns the
+    /// primary-output levels during evaluation.
+    ///
+    /// Bit `i` of `word` is the value of primary input `i`. Follows the
+    /// domino discipline: all inputs low during precharge.
+    pub fn evaluate(&self, sim: &mut Sim<'_>, word: u64) -> Vec<Logic> {
+        sim.set_input(self.clock, Logic::Zero);
+        for &pi in &self.pi_nodes {
+            sim.set_input(pi, Logic::Zero);
+        }
+        sim.settle();
+        sim.set_input(self.clock, Logic::One);
+        for (k, &pi) in self.pi_nodes.iter().enumerate() {
+            sim.set_input(pi, Logic::from_bool((word >> k) & 1 == 1));
+        }
+        sim.settle();
+        self.po_nodes.iter().map(|&po| sim.level(po)).collect()
+    }
+}
+
+/// Flattens a single-clock domino network into one transistor circuit.
+///
+/// # Errors
+///
+/// Returns [`ToSwitchError`] if any gate is not domino CMOS or a
+/// transmission function is not positive series-parallel.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_netlist::generate::and_or_tree;
+/// use dynmos_netlist::to_switch::domino_to_switch;
+/// use dynmos_switch::Sim;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = and_or_tree(2); // (x0&x1)|(x2&x3), 3 domino gates
+/// let flat = domino_to_switch(&net)?;
+/// let mut sim = Sim::new(&flat.circuit);
+/// let outs = flat.evaluate(&mut sim, 0b0011); // x0=x1=1
+/// assert_eq!(outs[0], dynmos_switch::Logic::One);
+/// # Ok(())
+/// # }
+/// ```
+pub fn domino_to_switch(net: &Network) -> Result<SwitchRealization, ToSwitchError> {
+    for (gi, inst) in net.gates().iter().enumerate() {
+        let tech = net.cells()[inst.cell].technology();
+        if tech != Technology::DominoCmos {
+            return Err(ToSwitchError::NotDomino {
+                gate: gi,
+                technology: tech,
+            });
+        }
+    }
+    let mut b = CircuitBuilder::new();
+    let clock = b.input("phi");
+    // One switch node per net; primary inputs are externally driven.
+    let net_nodes: Vec<NodeId> = (0..net.net_count())
+        .map(|i| {
+            let netid = NetId(i as u32);
+            let name = format!("net:{}", net.net_name(netid));
+            if net.primary_inputs().contains(&netid) {
+                b.input(&name)
+            } else {
+                b.node(&name)
+            }
+        })
+        .collect();
+
+    let (vdd, vss) = (b.vdd(), b.vss());
+    let mut gates = Vec::with_capacity(net.gates().len());
+    for (gi, inst) in net.gates().iter().enumerate() {
+        let cell = &net.cells()[inst.cell];
+        let y = b.node(&format!("g{gi}.y"));
+        let foot = b.fresh_node(&format!("g{gi}.foot"));
+        let t1 = b.fet(FetKind::P, clock, vdd, y, &format!("g{gi}.T1"));
+        let inputs = inst.inputs.clone();
+        let sn = build_sn(
+            &mut b,
+            cell.transmission(),
+            y,
+            foot,
+            FetKind::N,
+            &|v| inputs.get(v.index()).map(|n| net_nodes[n.index()]),
+        )
+        .map_err(|e| ToSwitchError::BadTransmission(e.to_string()))?;
+        let t2 = b.fet(FetKind::N, clock, foot, vss, &format!("g{gi}.T2"));
+        let z = net_nodes[inst.output.index()];
+        let inv_p = b.fet(FetKind::P, y, vdd, z, &format!("g{gi}.INVp"));
+        let inv_n = b.fet(FetKind::N, y, z, vss, &format!("g{gi}.INVn"));
+        gates.push(DominoParts {
+            t1,
+            t2,
+            inv_p,
+            inv_n,
+            y,
+            sn_sites: sn.transistors,
+        });
+    }
+
+    let pi_nodes = net
+        .primary_inputs()
+        .iter()
+        .map(|pi| net_nodes[pi.index()])
+        .collect();
+    let po_nodes = net
+        .primary_outputs()
+        .iter()
+        .map(|po| net_nodes[po.index()])
+        .collect();
+
+    Ok(SwitchRealization {
+        circuit: b.finish(),
+        clock,
+        net_nodes,
+        gates,
+        pi_nodes,
+        po_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{and_or_tree, carry_chain, fig9_cell, random_domino_network, single_cell_network};
+    use dynmos_switch::{FaultSet, SwitchFault};
+
+    fn exhaustive_match(net: &Network) {
+        let flat = domino_to_switch(net).expect("domino network flattens");
+        let n = net.primary_inputs().len();
+        assert!(n <= 12, "test helper limited to small nets");
+        for w in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+            let expect = net.eval(&bits);
+            let mut sim = Sim::new(&flat.circuit);
+            let got = flat.evaluate(&mut sim, w);
+            let got_bool: Vec<bool> = got
+                .iter()
+                .map(|l| l.to_bool().unwrap_or_else(|| panic!("X at word {w}")))
+                .collect();
+            assert_eq!(got_bool, expect, "word {w:b}");
+        }
+    }
+
+    #[test]
+    fn tree_flattens_and_matches() {
+        exhaustive_match(&and_or_tree(2));
+        exhaustive_match(&and_or_tree(3));
+    }
+
+    #[test]
+    fn carry_chain_flattens_and_matches() {
+        exhaustive_match(&carry_chain(3));
+    }
+
+    #[test]
+    fn fig9_single_cell_flattens() {
+        exhaustive_match(&single_cell_network(fig9_cell()));
+    }
+
+    #[test]
+    fn random_networks_flatten_and_match() {
+        for seed in [3u64, 17, 99] {
+            let net = random_domino_network(seed, 4, 6);
+            if net.primary_inputs().len() <= 10 {
+                exhaustive_match(&net);
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_count_formula() {
+        // Per gate: T1 + T2 + 2 inverter fets + one fet per literal.
+        let net = and_or_tree(2);
+        let flat = domino_to_switch(&net).expect("flattens");
+        let expect: usize = net
+            .gates()
+            .iter()
+            .map(|g| 4 + net.cells()[g.cell].switch_count())
+            .sum();
+        assert_eq!(flat.circuit.transistors().len(), expect);
+    }
+
+    #[test]
+    fn network_level_fault_matches_library_prediction() {
+        // Stuck-open on the first SN transistor of the first gate of the
+        // tree: gate0 = x0&x1 degrades to constant 0 at its output; the
+        // network output becomes x2&x3 (through the OR).
+        let net = and_or_tree(2);
+        let flat = domino_to_switch(&net).expect("flattens");
+        let mut faults = FaultSet::new();
+        faults.inject(SwitchFault::StuckOpen(flat.gates[0].sn_sites[0]));
+        for w in 0..16u64 {
+            let mut sim = Sim::with_faults(&flat.circuit, faults.clone());
+            let out = flat.evaluate(&mut sim, w)[0];
+            let x2x3 = (w >> 2) & 1 == 1 && (w >> 3) & 1 == 1;
+            assert_eq!(out, Logic::from_bool(x2x3), "word {w:04b}");
+        }
+    }
+
+    #[test]
+    fn multi_gate_fault_is_still_combinational() {
+        // The section-3 theorem at network scale: history independence
+        // with a faulty gate inside a multi-gate circuit.
+        let net = and_or_tree(2);
+        let flat = domino_to_switch(&net).expect("flattens");
+        let mut faults = FaultSet::new();
+        faults.inject(SwitchFault::StuckClosed(flat.gates[1].sn_sites[1]));
+        for w in 0..16u64 {
+            let mut outs = Vec::new();
+            for history in [0u64, 15, !w & 15] {
+                let mut sim = Sim::with_faults(&flat.circuit, faults.clone());
+                flat.evaluate(&mut sim, 15); // A2 conditioning
+                flat.evaluate(&mut sim, 0);
+                flat.evaluate(&mut sim, history);
+                outs.push(flat.evaluate(&mut sim, w)[0]);
+            }
+            assert!(
+                outs.windows(2).all(|p| p[0] == p[1]),
+                "history dependence at {w:04b}: {outs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_domino_networks() {
+        let net = crate::generate::c17_dynamic_nmos();
+        let err = domino_to_switch(&net).unwrap_err();
+        assert!(matches!(err, ToSwitchError::NotDomino { .. }));
+        assert!(err.to_string().contains("dynamic-nMOS"));
+    }
+}

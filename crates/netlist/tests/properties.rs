@@ -1,0 +1,114 @@
+//! Property-based tests for the netlist substrate.
+
+use dynmos_netlist::generate::{random_domino_cell, random_domino_network, random_sp_expr};
+use dynmos_netlist::to_switch::domino_to_switch;
+use dynmos_netlist::{Cell, Technology};
+use dynmos_switch::Sim;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Packed evaluation agrees with scalar evaluation on random networks
+    /// and random input lanes.
+    #[test]
+    fn packed_eval_matches_scalar(seed in 0u64..1000, lane_seed in any::<u64>()) {
+        let net = random_domino_network(seed, 4, 5);
+        let n = net.primary_inputs().len();
+        let lanes: Vec<u64> = (0..n)
+            .map(|i| lane_seed.rotate_left(7 * i as u32).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let packed = net.eval_packed(&lanes);
+        for lane in 0..64 {
+            let bits: Vec<bool> = (0..n).map(|i| (lanes[i] >> lane) & 1 == 1).collect();
+            let scalar = net.eval(&bits);
+            for (k, po) in packed.iter().enumerate() {
+                prop_assert_eq!((po >> lane) & 1 == 1, scalar[k], "lane {} PO {}", lane, k);
+            }
+        }
+    }
+
+    /// The global output function from back-substitution agrees with
+    /// direct network evaluation.
+    #[test]
+    fn output_function_matches_eval(seed in 0u64..1000) {
+        let net = random_domino_network(seed, 3, 4);
+        let n = net.primary_inputs().len();
+        prop_assume!(n <= 10);
+        for &po in net.primary_outputs() {
+            let f = net.output_function(po);
+            for w in 0..(1u64 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+                let idx = net
+                    .primary_outputs()
+                    .iter()
+                    .position(|&p| p == po)
+                    .expect("po exists");
+                prop_assert_eq!(f.eval_word(w), net.eval(&bits)[idx], "word {}", w);
+            }
+        }
+    }
+
+    /// Flattening a domino network to transistors preserves its function.
+    #[test]
+    fn flattened_network_matches_gate_level(seed in 0u64..300) {
+        let net = random_domino_network(seed, 3, 4);
+        let n = net.primary_inputs().len();
+        prop_assume!(n <= 8);
+        let flat = domino_to_switch(&net).expect("domino nets flatten");
+        for w in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+            let expect = net.eval(&bits);
+            let mut sim = Sim::new(&flat.circuit);
+            let got = flat.evaluate(&mut sim, w);
+            for (k, l) in got.iter().enumerate() {
+                prop_assert_eq!(l.to_bool(), Some(expect[k]), "word {} PO {}", w, k);
+            }
+        }
+    }
+
+    /// Random cells: switch count equals the literal count of the
+    /// generated expression, and the logic function is monotone (domino
+    /// transmission functions are positive).
+    #[test]
+    fn random_cells_are_monotone(seed in 0u64..1000) {
+        let cell = random_domino_cell(seed, 4, 6);
+        prop_assert_eq!(cell.switch_count(), 6);
+        let f = cell.logic_function();
+        // Monotonicity: flipping any input 0->1 never flips output 1->0.
+        for w in 0..16u64 {
+            for bit in 0..4 {
+                if (w >> bit) & 1 == 0 {
+                    let up = w | (1 << bit);
+                    prop_assert!(
+                        !f.eval_word(w) || f.eval_word(up),
+                        "non-monotone at {} bit {}", w, bit
+                    );
+                }
+            }
+        }
+    }
+
+    /// random_sp_expr stays within the requested variable range.
+    #[test]
+    fn sp_expr_respects_bounds(seed in any::<u64>(), nvars in 1usize..6, lits in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = random_sp_expr(&mut rng, nvars, lits);
+        for v in e.support() {
+            prop_assert!(v.index() < nvars);
+        }
+    }
+
+    /// Cell compilation is stable: compiling the same description twice
+    /// yields identical cells.
+    #[test]
+    fn compilation_is_deterministic(seed in 0u64..1000) {
+        let a = random_domino_cell(seed, 3, 5);
+        let b = random_domino_cell(seed, 3, 5);
+        prop_assert_eq!(a.transmission(), b.transmission());
+        prop_assert_eq!(a.technology(), Technology::DominoCmos);
+        let _ : &Cell = &a;
+    }
+}

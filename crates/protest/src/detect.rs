@@ -1,0 +1,191 @@
+//! Fault detection probabilities.
+//!
+//! PROTEST's second stage: "for each fault the probability is estimated,
+//! that it is detected by a random pattern." A pattern detects a fault iff
+//! some primary output differs between the fault-free and faulty machines.
+
+use crate::list::FaultEntry;
+use dynmos_netlist::Network;
+
+/// Exact detection probability of one fault by weighted exhaustive
+/// enumeration (inputs independent with probabilities `pi_probs`).
+///
+/// # Panics
+///
+/// Panics if the network has more than 24 primary inputs or the arity of
+/// `pi_probs` is wrong.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_netlist::generate::{domino_wide_and, single_cell_network};
+/// use dynmos_protest::{exact_detection_probability, network_fault_list};
+///
+/// let net = single_cell_network(domino_wide_and(4));
+/// let list = network_fault_list(&net);
+/// // The all-ones pattern is the only test for output s-a-0: p = 2^-4.
+/// // Find the stuck-0-output class (constant-false faulty function).
+/// let s0z = list.iter()
+///     .find(|e| matches!(&e.fault,
+///         dynmos_netlist::NetworkFault::GateFunction(_, f) if *f == dynmos_logic::Bexpr::FALSE))
+///     .unwrap();
+/// let p = exact_detection_probability(&net, &s0z.fault, &[0.5; 4]);
+/// assert!((p - 0.0625).abs() < 1e-12);
+/// ```
+pub fn exact_detection_probability(
+    net: &Network,
+    fault: &dynmos_netlist::NetworkFault,
+    pi_probs: &[f64],
+) -> f64 {
+    let n = net.primary_inputs().len();
+    assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
+    assert_eq!(pi_probs.len(), n, "need one probability per primary input");
+    let rows = 1u64 << n;
+    let mut total = 0.0;
+    let mut row = 0u64;
+    while row < rows {
+        let lanes = (rows - row).min(64);
+        let mut pi_words = vec![0u64; n];
+        for lane in 0..lanes {
+            let assignment = row + lane;
+            for (i, w) in pi_words.iter_mut().enumerate() {
+                if (assignment >> i) & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        let good = net.eval_packed(&pi_words);
+        let bad = net.eval_packed_faulty(&pi_words, Some(fault));
+        let mut differ = 0u64;
+        for (g, b) in good.iter().zip(&bad) {
+            differ |= g ^ b;
+        }
+        for lane in 0..lanes {
+            if (differ >> lane) & 1 == 1 {
+                let assignment = row + lane;
+                let mut weight = 1.0;
+                for (i, &p) in pi_probs.iter().enumerate() {
+                    weight *= if (assignment >> i) & 1 == 1 { p } else { 1.0 - p };
+                }
+                total += weight;
+            }
+        }
+        row += lanes;
+    }
+    // Summing 2^n weights accumulates ulp-scale error; clamp to [0,1] so
+    // downstream validation (test_length) never sees 1.0 + epsilon.
+    total.clamp(0.0, 1.0)
+}
+
+/// Exact detection probabilities for a whole fault list (one value per
+/// entry, in order).
+///
+/// # Panics
+///
+/// Same conditions as [`exact_detection_probability`].
+pub fn detection_probabilities(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+) -> Vec<f64> {
+    faults
+        .iter()
+        .map(|e| exact_detection_probability(net, &e.fault, pi_probs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::network_fault_list;
+    use dynmos_netlist::generate::{
+        and_or_tree, domino_wide_and, fig9_cell, single_cell_network,
+    };
+    use dynmos_logic::Bexpr;
+    use dynmos_netlist::{NetId, NetworkFault};
+
+    /// Index of the constant-0 gate-function class (the s0-z fault).
+    fn s0z_index(list: &[crate::list::FaultEntry]) -> usize {
+        list.iter()
+            .position(|e| {
+                matches!(&e.fault, NetworkFault::GateFunction(_, f) if *f == Bexpr::FALSE)
+            })
+            .expect("s0-z class exists")
+    }
+
+    #[test]
+    fn wide_and_hard_fault_probability() {
+        for n in [4usize, 6, 8] {
+            let net = single_cell_network(domino_wide_and(n));
+            let list = network_fault_list(&net);
+            let s0z = &list[s0z_index(&list)];
+            let p = exact_detection_probability(&net, &s0z.fault, &vec![0.5; n]);
+            assert!((p - 0.5f64.powi(n as i32)).abs() < 1e-12, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn weighting_raises_hard_fault_probability() {
+        let n = 8;
+        let net = single_cell_network(domino_wide_and(n));
+        let list = network_fault_list(&net);
+        let s0z = &list[s0z_index(&list)];
+        let uniform = exact_detection_probability(&net, &s0z.fault, &vec![0.5; n]);
+        let weighted = exact_detection_probability(&net, &s0z.fault, &vec![0.9; n]);
+        // 0.9^8 ≈ 0.43 vs 2^-8 ≈ 0.0039: two orders of magnitude.
+        assert!(weighted / uniform > 100.0);
+    }
+
+    #[test]
+    fn undetectable_fault_has_probability_zero() {
+        // A gate-function fault equal to the good function detects nothing.
+        let net = and_or_tree(2);
+        let good = net.cell_of(dynmos_netlist::GateRef(0)).logic_function();
+        let fault = NetworkFault::GateFunction(dynmos_netlist::GateRef(0), good);
+        let p = exact_detection_probability(&net, &fault, &[0.5; 4]);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn po_stuck_detection_is_one_sided() {
+        // Output of the tree stuck at 1: detected whenever good output is 0.
+        let net = and_or_tree(2);
+        let po = net.primary_outputs()[0];
+        let fault = NetworkFault::NetStuck(po, true);
+        let p = exact_detection_probability(&net, &fault, &[0.5; 4]);
+        // good P(out=1) = 0.4375 -> detect when 0: 0.5625
+        assert!((p - 0.5625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_fig9_classes_detectable_under_uniform() {
+        let net = single_cell_network(fig9_cell());
+        let list = network_fault_list(&net);
+        let probs = detection_probabilities(&net, &list, &[0.5; 5]);
+        for (e, p) in list.iter().zip(&probs) {
+            assert!(*p > 0.0, "{} undetectable", e.label);
+            assert!(*p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn detection_probability_respects_input_weights() {
+        // PI s-a-1 on input x0 of the tree: detection needs x0=0 and the
+        // difference to propagate.
+        let net = and_or_tree(2);
+        let x0: NetId = net.primary_inputs()[0];
+        let fault = NetworkFault::NetStuck(x0, true);
+        let p_low = exact_detection_probability(&net, &fault, &[0.9, 0.5, 0.5, 0.5]);
+        let p_high = exact_detection_probability(&net, &fault, &[0.1, 0.5, 0.5, 0.5]);
+        // Setting x0=0 more often makes the s-a-1 easier to see.
+        assert!(p_high > p_low);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn too_many_inputs_panics() {
+        let net = and_or_tree(5); // 32 inputs
+        let list = network_fault_list(&net);
+        exact_detection_probability(&net, &list[0].fault, &vec![0.5; 32]);
+    }
+}

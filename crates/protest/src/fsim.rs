@@ -1,0 +1,279 @@
+//! Static fault simulation, 64-way pattern-parallel.
+//!
+//! "Since we are only dealing with combinational networks, a static fault
+//! simulation is sufficient, if the user wants to validate the predictions
+//! of PROTEST." — and the paper's dynamic fault model is exactly what
+//! makes this legal: every fault stays combinational, so the classic
+//! inject-and-compare simulation works (unlike for static CMOS stuck-opens,
+//! where "the fault injection algorithms … don't work any more").
+//!
+//! The simulator is serial-fault, parallel-pattern: each 64-pattern batch
+//! is evaluated once for the fault-free machine and once per live fault,
+//! with fault dropping.
+
+use crate::list::FaultEntry;
+use crate::random::PatternSource;
+use dynmos_netlist::Network;
+
+/// Result of a fault-simulation run.
+#[derive(Debug, Clone)]
+pub struct FsimOutcome {
+    /// For each fault (by list index): the 1-based pattern number at which
+    /// it was first detected, or `None` if it escaped.
+    pub detected_at: Vec<Option<u64>>,
+    /// Total patterns applied.
+    pub patterns_applied: u64,
+    /// Coverage curve: `(patterns, detected count)` sampled after each
+    /// 64-pattern batch.
+    pub coverage_curve: Vec<(u64, usize)>,
+}
+
+impl FsimOutcome {
+    /// Fraction of faults detected.
+    pub fn coverage(&self) -> f64 {
+        let detected = self.detected_at.iter().filter(|d| d.is_some()).count();
+        detected as f64 / self.detected_at.len().max(1) as f64
+    }
+
+    /// Indices of undetected faults.
+    pub fn escapes(&self) -> Vec<usize> {
+        self.detected_at
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// Serial-fault, pattern-parallel fault simulator with fault dropping.
+#[derive(Debug, Clone)]
+pub struct FaultSimulator<'n> {
+    net: &'n Network,
+}
+
+impl<'n> FaultSimulator<'n> {
+    /// Creates a simulator for `net`.
+    pub fn new(net: &'n Network) -> Self {
+        Self { net }
+    }
+
+    /// Runs random patterns from `source` until all faults are detected or
+    /// `max_patterns` have been applied (rounded up to whole 64-pattern
+    /// batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source arity does not match the network.
+    pub fn run_random(
+        &self,
+        faults: &[FaultEntry],
+        source: &mut PatternSource,
+        max_patterns: u64,
+    ) -> FsimOutcome {
+        assert_eq!(
+            source.input_count(),
+            self.net.primary_inputs().len(),
+            "pattern source arity mismatch"
+        );
+        let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut applied = 0u64;
+        let mut curve = Vec::new();
+        while !live.is_empty() && applied < max_patterns {
+            let batch = source.next_batch();
+            let good = self.net.eval_packed(&batch);
+            live.retain(|&fi| {
+                let bad = self
+                    .net
+                    .eval_packed_faulty(&batch, Some(&faults[fi].fault));
+                let mut differ = 0u64;
+                for (g, b) in good.iter().zip(&bad) {
+                    differ |= g ^ b;
+                }
+                if differ != 0 {
+                    let first_lane = differ.trailing_zeros() as u64;
+                    detected_at[fi] = Some(applied + first_lane + 1);
+                    false // drop
+                } else {
+                    true
+                }
+            });
+            applied += 64;
+            curve.push((
+                applied,
+                detected_at.iter().filter(|d| d.is_some()).count(),
+            ));
+        }
+        FsimOutcome {
+            detected_at,
+            patterns_applied: applied,
+            coverage_curve: curve,
+        }
+    }
+
+    /// Applies an explicit deterministic pattern set (each pattern a PI
+    /// assignment); useful for validating ATPG test sets.
+    pub fn run_patterns(&self, faults: &[FaultEntry], patterns: &[Vec<bool>]) -> FsimOutcome {
+        let n = self.net.primary_inputs().len();
+        let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut applied = 0u64;
+        let mut curve = Vec::new();
+        for chunk in patterns.chunks(64) {
+            let mut batch = vec![0u64; n];
+            for (lane, pat) in chunk.iter().enumerate() {
+                assert_eq!(pat.len(), n, "pattern arity mismatch");
+                for (i, &b) in pat.iter().enumerate() {
+                    if b {
+                        batch[i] |= 1 << lane;
+                    }
+                }
+            }
+            let lanes_mask = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            let good = self.net.eval_packed(&batch);
+            live.retain(|&fi| {
+                let bad = self
+                    .net
+                    .eval_packed_faulty(&batch, Some(&faults[fi].fault));
+                let mut differ = 0u64;
+                for (g, b) in good.iter().zip(&bad) {
+                    differ |= (g ^ b) & lanes_mask;
+                }
+                if differ != 0 {
+                    let first_lane = differ.trailing_zeros() as u64;
+                    detected_at[fi] = Some(applied + first_lane + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+            applied += chunk.len() as u64;
+            curve.push((
+                applied,
+                detected_at.iter().filter(|d| d.is_some()).count(),
+            ));
+        }
+        FsimOutcome {
+            detected_at,
+            patterns_applied: applied,
+            coverage_curve: curve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::network_fault_list;
+    use dynmos_netlist::generate::{
+        and_or_tree, c17_dynamic_nmos, domino_wide_and, fig9_cell, single_cell_network,
+    };
+
+    /// Index of the constant-0 gate-function class (the s0-z fault).
+    fn s0z_index(list: &[FaultEntry]) -> usize {
+        list.iter()
+            .position(|e| {
+                matches!(&e.fault,
+                    dynmos_netlist::NetworkFault::GateFunction(_, f)
+                        if *f == dynmos_logic::Bexpr::FALSE)
+            })
+            .expect("s0-z class exists")
+    }
+
+    #[test]
+    fn random_simulation_reaches_full_coverage_on_fig9() {
+        let net = single_cell_network(fig9_cell());
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(11, 5);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 10_000);
+        assert_eq!(out.coverage(), 1.0, "escapes: {:?}", out.escapes());
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(3, 5);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 1024);
+        for w in out.coverage_curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn hard_fault_detected_late_under_uniform() {
+        let n = 10;
+        let net = single_cell_network(domino_wide_and(n));
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(19, n);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 200_000);
+        let hard = s0z_index(&faults);
+        let t = out.detected_at[hard].expect("should eventually hit all-ones");
+        // Expected detection time ~2^10 = 1024; allow wide slack but
+        // require it to be non-trivial.
+        assert!(t > 64, "detected suspiciously early: {t}");
+    }
+
+    #[test]
+    fn weighted_patterns_detect_hard_fault_much_faster() {
+        let n = 10;
+        let net = single_cell_network(domino_wide_and(n));
+        let faults = network_fault_list(&net);
+        let hard = s0z_index(&faults);
+        let mut uni = PatternSource::uniform(19, n);
+        let mut opt = PatternSource::new(19, vec![0.9375; n]);
+        let sim = FaultSimulator::new(&net);
+        let t_uni = sim
+            .run_random(&faults, &mut uni, 500_000)
+            .detected_at[hard]
+            .unwrap();
+        let t_opt = sim
+            .run_random(&faults, &mut opt, 500_000)
+            .detected_at[hard]
+            .unwrap();
+        assert!(
+            t_uni > 10 * t_opt,
+            "weighted {t_opt} should be >10x faster than uniform {t_uni}"
+        );
+    }
+
+    #[test]
+    fn deterministic_pattern_set_detection() {
+        let net = single_cell_network(fig9_cell());
+        let faults = network_fault_list(&net);
+        // Exhaustive 32-pattern set must catch everything.
+        let patterns: Vec<Vec<bool>> = (0..32u64)
+            .map(|w| (0..5).map(|i| (w >> i) & 1 == 1).collect())
+            .collect();
+        let out = FaultSimulator::new(&net).run_patterns(&faults, &patterns);
+        assert_eq!(out.coverage(), 1.0);
+        assert_eq!(out.patterns_applied, 32);
+    }
+
+    #[test]
+    fn partial_pattern_set_leaves_escapes() {
+        let net = single_cell_network(domino_wide_and(8));
+        let faults = network_fault_list(&net);
+        // All-zeros only: detects s1-z-ish faults, misses s0-z.
+        let out =
+            FaultSimulator::new(&net).run_patterns(&faults, &[vec![false; 8]]);
+        assert!(out.coverage() < 1.0);
+        assert!(!out.escapes().is_empty());
+    }
+
+    #[test]
+    fn detection_times_are_one_based_and_bounded() {
+        let net = and_or_tree(2);
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(5, 4);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 2048);
+        for d in out.detected_at.iter().flatten() {
+            assert!(*d >= 1 && *d <= out.patterns_applied);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Random test length for a demanded confidence.
+//!
+//! PROTEST's third stage: "The user wants to know how many random patterns
+//! he has to apply in order to detect all faults. He specifies the input
+//! signal probabilities and the demanded confidence of the random test,
+//! and PROTEST computes the necessary test length."
+//!
+//! With per-fault detection probabilities `p_i`, the probability that all
+//! `m` faults are detected within `N` independent patterns is
+//! `Π_i (1 - (1-p_i)^N)`. [`test_length`] finds the smallest `N` reaching
+//! the demanded confidence.
+
+/// Probability that at least one of `n` patterns detects a fault with
+/// per-pattern detection probability `p`: the complement of the escape
+/// probability `(1-p)^n`.
+pub fn escape_probability(p: f64, n: u64) -> f64 {
+    (1.0 - p).powf(n as f64)
+}
+
+/// The smallest `N` such that a fault with detection probability `p` is
+/// detected with probability at least `confidence` — the per-fault length
+/// `N ≥ ln(1-confidence) / ln(1-p)`.
+///
+/// Returns `u64::MAX` for `p == 0` (redundant fault, never detected).
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1` and `0 <= p <= 1`.
+pub fn test_length_per_fault(p: f64, confidence: f64) -> u64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+    if p == 0.0 {
+        return u64::MAX;
+    }
+    if p == 1.0 {
+        return 1;
+    }
+    let n = (1.0 - confidence).ln() / (1.0 - p).ln();
+    n.ceil() as u64
+}
+
+/// The smallest `N` such that *all* faults (detection probabilities
+/// `probs`) are detected with joint probability at least `confidence`,
+/// assuming independent detections: `Π_i (1 - (1-p_i)^N) ≥ confidence`.
+///
+/// Returns `u64::MAX` if any fault has zero detection probability.
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1`, all probabilities are in `[0, 1]`,
+/// and `probs` is non-empty.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_protest::test_length;
+/// // One easy fault and one needing p=2^-8.
+/// let n = test_length(&[0.5, 1.0 / 256.0], 0.999);
+/// assert!(n > 1500 && n < 2500);
+/// ```
+pub fn test_length(probs: &[f64], confidence: f64) -> u64 {
+    assert!(!probs.is_empty(), "need at least one fault");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+    }
+    if probs.contains(&0.0) {
+        return u64::MAX;
+    }
+    let achieved = |n: u64| -> f64 {
+        probs
+            .iter()
+            .map(|&p| 1.0 - escape_probability(p, n))
+            .product()
+    };
+    // Exponential search then binary search on the monotone predicate.
+    let mut hi = 1u64;
+    while achieved(hi) < confidence {
+        hi = hi.saturating_mul(2);
+        if hi == u64::MAX {
+            return u64::MAX;
+        }
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if achieved(mid) >= confidence {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if achieved(lo.max(1)) >= confidence {
+        lo.max(1)
+    } else {
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_probability_shrinks_geometrically() {
+        let p = 0.25;
+        assert_eq!(escape_probability(p, 0), 1.0);
+        assert!((escape_probability(p, 1) - 0.75).abs() < 1e-12);
+        assert!((escape_probability(p, 2) - 0.5625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_fault_length_closed_form() {
+        // p=0.5, c=0.999: N = ln(0.001)/ln(0.5) ≈ 9.97 -> 10.
+        assert_eq!(test_length_per_fault(0.5, 0.999), 10);
+        assert_eq!(test_length_per_fault(1.0, 0.9), 1);
+        assert_eq!(test_length_per_fault(0.0, 0.9), u64::MAX);
+    }
+
+    #[test]
+    fn single_fault_joint_equals_per_fault() {
+        for p in [0.5, 0.1, 0.01] {
+            for c in [0.9, 0.99, 0.999] {
+                assert_eq!(test_length(&[p], c), test_length_per_fault(p, c), "p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn joint_length_at_least_per_fault_max() {
+        let probs = [0.5, 0.03, 0.2];
+        let joint = test_length(&probs, 0.99);
+        let worst = probs
+            .iter()
+            .map(|&p| test_length_per_fault(p, 0.99))
+            .max()
+            .unwrap();
+        assert!(joint >= worst);
+        // ... and not absurdly larger (many faults only add ln m).
+        assert!(joint < worst * 3);
+    }
+
+    #[test]
+    fn length_grows_with_confidence() {
+        let probs = [0.01, 0.2];
+        let n90 = test_length(&probs, 0.90);
+        let n999 = test_length(&probs, 0.999);
+        assert!(n999 > n90);
+    }
+
+    #[test]
+    fn length_is_tight() {
+        // N-1 must miss the confidence, N must reach it.
+        let probs = [0.07, 0.3, 0.004];
+        let c = 0.995;
+        let n = test_length(&probs, c);
+        let achieved = |n: u64| -> f64 {
+            probs
+                .iter()
+                .map(|&p| 1.0 - escape_probability(p, n))
+                .product()
+        };
+        assert!(achieved(n) >= c);
+        assert!(achieved(n - 1) < c);
+    }
+
+    #[test]
+    fn redundant_fault_gives_infinite_length() {
+        assert_eq!(test_length(&[0.5, 0.0], 0.9), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        test_length(&[0.5], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fault")]
+    fn empty_fault_list_panics() {
+        test_length(&[], 0.9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduction of **PROTEST** (Probabilistic Testability Analysis),
+//! the paper's section-5 tool (Fig. 8).
+//!
+//! For a combinational network and per-input signal probabilities, PROTEST
+//!
+//! 1. estimates the **signal probability** at each internal node
+//!    ([`signal_probabilities`], plus the exact oracle
+//!    [`exact_signal_probability`]),
+//! 2. estimates each fault's **detection probability**
+//!    ([`detection_probabilities`]),
+//! 3. computes the **test length** needed for a demanded confidence
+//!    ([`test_length`]),
+//! 4. **optimizes the input signal probabilities**, "reducing the
+//!    necessary test length by orders of magnitudes"
+//!    ([`optimize_input_probabilities`]),
+//! 5. generates weighted **random patterns** ([`PatternSource`]), and
+//! 6. validates predictions by **static fault simulation**
+//!    ([`FaultSimulator`], 64-way pattern-parallel).
+//!
+//! # Example
+//!
+//! ```
+//! use dynmos_netlist::generate::{domino_wide_and, single_cell_network};
+//! use dynmos_protest::{network_fault_list, test_length, detection_probabilities};
+//!
+//! let net = single_cell_network(domino_wide_and(8));
+//! let faults = network_fault_list(&net);
+//! let uniform = vec![0.5; 8];
+//! let probs = detection_probabilities(&net, &faults, &uniform);
+//! let n_uniform = test_length(&probs, 0.999);
+//! // The hardest fault needs p = 2^-8 patterns; thousands of patterns.
+//! assert!(n_uniform > 1000);
+//! ```
+
+pub mod detect;
+pub mod estimate;
+pub mod fsim;
+pub mod length;
+pub mod list;
+pub mod montecarlo;
+pub mod optimize;
+pub mod random;
+pub mod symbolic;
+
+pub use detect::{detection_probabilities, exact_detection_probability};
+pub use estimate::{exact_signal_probability, signal_probabilities};
+pub use fsim::{FaultSimulator, FsimOutcome};
+pub use length::{escape_probability, test_length, test_length_per_fault};
+pub use list::{network_fault_list, FaultEntry};
+pub use montecarlo::{mc_detection_probabilities, mc_detection_probability, mc_signal_probability, Estimate};
+pub use optimize::{optimize_input_probabilities, OptimizeReport};
+pub use random::PatternSource;
+pub use symbolic::{bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability, bdd_test_pattern};

@@ -1,0 +1,232 @@
+//! Monte Carlo estimation for circuits beyond exact enumeration.
+//!
+//! The exact routines in [`crate::detect`] and [`crate::estimate`]
+//! enumerate the primary-input space and stop being feasible around 24
+//! inputs. Production-sized circuits (the paper's "large scaled
+//! integrated circuit") need sampling: these estimators draw weighted
+//! random patterns with the pattern-parallel evaluator and report the
+//! observed frequency together with a normal-approximation confidence
+//! half-width, so PROTEST's test-length stage can keep working at scale.
+
+use crate::list::FaultEntry;
+use crate::random::PatternSource;
+use dynmos_netlist::{NetId, Network};
+
+/// A Monte Carlo estimate: frequency plus a 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Observed frequency.
+    pub value: f64,
+    /// 95% normal-approximation half-width (`1.96 * sqrt(p(1-p)/n)`).
+    pub half_width: f64,
+    /// Samples drawn.
+    pub samples: u64,
+}
+
+impl Estimate {
+    /// `true` if `truth` lies within the confidence interval (with a
+    /// small absolute floor for degenerate frequencies).
+    pub fn covers(&self, truth: f64) -> bool {
+        (self.value - truth).abs() <= self.half_width.max(1e-3)
+    }
+}
+
+fn estimate_from_counts(hits: u64, samples: u64) -> Estimate {
+    let p = hits as f64 / samples as f64;
+    Estimate {
+        value: p,
+        half_width: 1.96 * (p * (1.0 - p) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+/// Monte Carlo signal probability of one net under weighted inputs.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the probability arity mismatches.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_netlist::generate::and_or_tree;
+/// use dynmos_protest::montecarlo::mc_signal_probability;
+///
+/// let net = and_or_tree(4); // 16 inputs
+/// let po = net.primary_outputs()[0];
+/// let est = mc_signal_probability(&net, po, &vec![0.5; 16], 7, 50_000);
+/// assert!(est.half_width < 0.01);
+/// ```
+pub fn mc_signal_probability(
+    net: &Network,
+    target: NetId,
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+) -> Estimate {
+    assert!(samples > 0, "need at least one sample");
+    let mut src = PatternSource::new(seed, pi_probs.to_vec());
+    let mut hits = 0u64;
+    let mut drawn = 0u64;
+    while drawn < samples {
+        let batch = src.next_batch();
+        let values = net.eval_packed_all(&batch, None);
+        let lanes = (samples - drawn).min(64);
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        hits += (values[target.index()] & mask).count_ones() as u64;
+        drawn += lanes;
+    }
+    estimate_from_counts(hits, samples)
+}
+
+/// Monte Carlo detection probability of one fault.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the probability arity mismatches.
+pub fn mc_detection_probability(
+    net: &Network,
+    fault: &dynmos_netlist::NetworkFault,
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+) -> Estimate {
+    assert!(samples > 0, "need at least one sample");
+    let mut src = PatternSource::new(seed, pi_probs.to_vec());
+    let mut hits = 0u64;
+    let mut drawn = 0u64;
+    while drawn < samples {
+        let batch = src.next_batch();
+        let good = net.eval_packed(&batch);
+        let bad = net.eval_packed_faulty(&batch, Some(fault));
+        let mut differ = 0u64;
+        for (g, b) in good.iter().zip(&bad) {
+            differ |= g ^ b;
+        }
+        let lanes = (samples - drawn).min(64);
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        hits += (differ & mask).count_ones() as u64;
+        drawn += lanes;
+    }
+    estimate_from_counts(hits, samples)
+}
+
+/// Monte Carlo detection probabilities for a whole list (one estimate per
+/// entry), sharing one pattern stream across faults so estimates are
+/// comparable.
+pub fn mc_detection_probabilities(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+) -> Vec<Estimate> {
+    faults
+        .iter()
+        .map(|e| mc_detection_probability(net, &e.fault, pi_probs, seed, samples))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::exact_detection_probability;
+    use crate::estimate::exact_signal_probability;
+    use crate::list::network_fault_list;
+    use dynmos_netlist::generate::{and_or_tree, c17_dynamic_nmos, random_domino_network};
+
+    /// Tests compare at 3 half-widths (~99.7%) so seed luck does not
+    /// flake CI; `covers` itself documents the 95% interval.
+    fn close(est: &Estimate, truth: f64) -> bool {
+        (est.value - truth).abs() <= (3.0 / 1.96) * est.half_width.max(1e-3)
+    }
+
+    #[test]
+    fn mc_signal_probability_matches_exact_small() {
+        let net = c17_dynamic_nmos();
+        let probs = vec![0.5; 5];
+        for &po in net.primary_outputs() {
+            let exact = exact_signal_probability(&net, po, &probs);
+            let est = mc_signal_probability(&net, po, &probs, 11, 100_000);
+            assert!(close(&est, exact), "exact {exact} vs {est:?}");
+        }
+    }
+
+    #[test]
+    fn mc_detection_matches_exact_small() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let probs = vec![0.5; 5];
+        for e in faults.iter().take(8) {
+            let exact = exact_detection_probability(&net, &e.fault, &probs);
+            let est = mc_detection_probability(&net, &e.fault, &probs, 23, 100_000);
+            assert!(close(&est, exact), "{}: exact {exact} vs {est:?}", e.label);
+        }
+    }
+
+    #[test]
+    fn mc_works_beyond_exact_limit() {
+        // 32 primary inputs: exact enumeration is impossible; MC is fine.
+        let net = and_or_tree(5);
+        assert!(net.primary_inputs().len() > 24);
+        let probs = vec![0.5; 32];
+        let po = net.primary_outputs()[0];
+        let est = mc_signal_probability(&net, po, &probs, 3, 200_000);
+        // Analytic value for the alternating tree of depth 5:
+        // AND: p^2, OR: 1-(1-p)^2 alternating from leaves.
+        let mut p = 0.5f64;
+        for level in 1..=5 {
+            p = if level % 2 == 1 { p * p } else { 1.0 - (1.0 - p) * (1.0 - p) };
+        }
+        assert!(close(&est, p), "analytic {p} vs {est:?}");
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        let net = c17_dynamic_nmos();
+        let po = net.primary_outputs()[0];
+        let probs = vec![0.5; 5];
+        let small = mc_signal_probability(&net, po, &probs, 1, 1_000);
+        let large = mc_signal_probability(&net, po, &probs, 1, 100_000);
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let net = random_domino_network(5, 4, 6);
+        let n = net.primary_inputs().len();
+        let po = net.primary_outputs()[0];
+        if n <= 12 {
+            let probs = vec![0.875; n];
+            let exact = exact_signal_probability(&net, po, &probs);
+            let est = mc_signal_probability(&net, po, &probs, 9, 150_000);
+            assert!(close(&est, exact), "exact {exact} vs {est:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_count_samples_exactly() {
+        let net = c17_dynamic_nmos();
+        let po = net.primary_outputs()[0];
+        // Non-multiple of 64 exercises the tail mask.
+        let est = mc_signal_probability(&net, po, &[0.5; 5], 1, 1_000);
+        assert_eq!(est.samples, 1_000);
+        assert!(est.value >= 0.0 && est.value <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let net = c17_dynamic_nmos();
+        let po = net.primary_outputs()[0];
+        mc_signal_probability(&net, po, &[0.5; 5], 1, 0);
+    }
+}

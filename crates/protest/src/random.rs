@@ -1,0 +1,151 @@
+//! Weighted random pattern generation.
+//!
+//! "Random patterns with distributions proposed by PROTEST are created."
+//! [`PatternSource`] produces packed 64-lane pattern words, one per primary
+//! input, where input `i` is 1 with its configured probability — the
+//! driver for the pattern-parallel fault simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of weighted random pattern batches.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_protest::PatternSource;
+/// let mut src = PatternSource::new(42, vec![0.5, 0.875]);
+/// let batch = src.next_batch();
+/// assert_eq!(batch.len(), 2);
+/// // Lane k of batch[i] is pattern k's value for input i.
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternSource {
+    rng: StdRng,
+    probs: Vec<f64>,
+}
+
+impl PatternSource {
+    /// Creates a source for the given per-input probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or `probs` is empty.
+    pub fn new(seed: u64, probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "need at least one input");
+        for &p in &probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            probs,
+        }
+    }
+
+    /// A uniform (p = 0.5 everywhere) source.
+    pub fn uniform(seed: u64, inputs: usize) -> Self {
+        Self::new(seed, vec![0.5; inputs])
+    }
+
+    /// Number of inputs per pattern.
+    pub fn input_count(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The configured probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Generates the next 64 patterns, packed: element `i` of the result
+    /// holds input `i`'s values across the 64 lanes.
+    pub fn next_batch(&mut self) -> Vec<u64> {
+        self.probs
+            .iter()
+            .map(|&p| {
+                if (p - 0.5).abs() < 1e-12 {
+                    // Fast path: one RNG word per input.
+                    self.rng.gen::<u64>()
+                } else {
+                    let mut w = 0u64;
+                    for lane in 0..64 {
+                        if self.rng.gen_bool(p) {
+                            w |= 1 << lane;
+                        }
+                    }
+                    w
+                }
+            })
+            .collect()
+    }
+
+    /// Generates one scalar pattern as a `Vec<bool>`.
+    pub fn next_pattern(&mut self) -> Vec<bool> {
+        self.probs.iter().map(|&p| self.rng.gen_bool(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = PatternSource::new(7, vec![0.5, 0.25, 0.875]);
+        let mut b = PatternSource::new(7, vec![0.5, 0.25, 0.875]);
+        for _ in 0..10 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = PatternSource::uniform(1, 4);
+        let mut b = PatternSource::uniform(2, 4);
+        let batches_equal = (0..4).all(|_| a.next_batch() == b.next_batch());
+        assert!(!batches_equal);
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_probability() {
+        let probs = vec![0.125, 0.5, 0.9];
+        let mut src = PatternSource::new(99, probs.clone());
+        let mut ones = [0u64; 3];
+        let batches = 400; // 25,600 samples per input
+        for _ in 0..batches {
+            for (i, w) in src.next_batch().iter().enumerate() {
+                ones[i] += w.count_ones() as u64;
+            }
+        }
+        let total = (batches * 64) as f64;
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = ones[i] as f64 / total;
+            assert!(
+                (freq - p).abs() < 0.02,
+                "input {i}: frequency {freq} vs probability {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut src = PatternSource::new(5, vec![0.0, 1.0]);
+        let batch = src.next_batch();
+        assert_eq!(batch[0], 0);
+        assert_eq!(batch[1], u64::MAX);
+        let pat = src.next_pattern();
+        assert_eq!(pat, vec![false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_probability_panics() {
+        PatternSource::new(0, vec![1.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_probs_panics() {
+        PatternSource::new(0, vec![]);
+    }
+}

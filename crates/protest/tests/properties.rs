@@ -1,0 +1,165 @@
+//! Property-based tests for PROTEST.
+
+use dynmos_netlist::generate::{random_domino_network, single_cell_network};
+use dynmos_netlist::Cell;
+use dynmos_protest::{
+    detection_probabilities, escape_probability, exact_detection_probability,
+    network_fault_list, test_length, test_length_per_fault, FaultSimulator, PatternSource,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Escape probability is monotone decreasing in the pattern count and
+    /// in the detection probability.
+    #[test]
+    fn escape_probability_monotone(p in 0.01f64..0.99, n in 1u64..1000) {
+        prop_assert!(escape_probability(p, n + 1) <= escape_probability(p, n));
+        prop_assert!(escape_probability(p + 0.005, n) <= escape_probability(p, n));
+    }
+
+    /// Per-fault test length achieves the confidence and is tight.
+    #[test]
+    fn per_fault_length_is_tight(p in 0.001f64..0.9, c in 0.5f64..0.9999) {
+        let n = test_length_per_fault(p, c);
+        prop_assert!(1.0 - escape_probability(p, n) >= c - 1e-12);
+        if n > 1 {
+            prop_assert!(1.0 - escape_probability(p, n - 1) < c + 1e-9);
+        }
+    }
+
+    /// Joint test length is monotone in confidence and dominated by the
+    /// weakest fault.
+    #[test]
+    fn joint_length_monotone(
+        probs in prop::collection::vec(0.01f64..0.9, 1..6),
+        c in 0.5f64..0.99,
+    ) {
+        let n_lo = test_length(&probs, c);
+        let n_hi = test_length(&probs, (c + 1.0) / 2.0);
+        prop_assert!(n_hi >= n_lo);
+        let weakest = probs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(n_lo >= test_length_per_fault(weakest, c));
+    }
+
+    /// Detection probabilities are probabilities, and the fault-free
+    /// "fault" would be zero (checked via label-free construction).
+    #[test]
+    fn detection_probabilities_in_range(seed in 0u64..500) {
+        let net = random_domino_network(seed, 3, 4);
+        prop_assume!(net.primary_inputs().len() <= 10);
+        let faults = network_fault_list(&net);
+        let n = net.primary_inputs().len();
+        let det = detection_probabilities(&net, &faults, &vec![0.5; n]);
+        for (e, p) in faults.iter().zip(&det) {
+            prop_assert!((0.0..=1.0).contains(p), "{}: {}", e.label, p);
+        }
+    }
+
+    /// Raising the probability of patterns that detect a fault never
+    /// lowers its detection probability — checked on the wide AND where
+    /// the monotone direction is known.
+    #[test]
+    fn weighting_monotone_on_wide_and(p in 0.5f64..0.95) {
+        use dynmos_netlist::generate::domino_wide_and;
+        let net = single_cell_network(domino_wide_and(6));
+        let faults = network_fault_list(&net);
+        // The s0-z class needs the all-ones pattern.
+        let s0z = faults
+            .iter()
+            .find(|e| matches!(
+                &e.fault,
+                dynmos_netlist::NetworkFault::GateFunction(_, f)
+                    if *f == dynmos_logic::Bexpr::FALSE
+            ))
+            .expect("s0-z exists");
+        let base = exact_detection_probability(&net, &s0z.fault, &[p; 6]);
+        let higher = exact_detection_probability(&net, &s0z.fault, &[p + 0.04; 6]);
+        prop_assert!(higher >= base);
+    }
+
+    /// Fault simulation detection is consistent: a fault detected by a
+    /// pattern set is also detected by any superset.
+    #[test]
+    fn detection_is_monotone_in_patterns(seed in 0u64..200, extra in 1usize..4) {
+        let net = random_domino_network(seed, 3, 4);
+        let faults = network_fault_list(&net);
+        let n = net.primary_inputs().len();
+        let mut src = PatternSource::uniform(seed, n);
+        let base: Vec<Vec<bool>> = (0..8).map(|_| src.next_pattern()).collect();
+        let mut superset = base.clone();
+        for _ in 0..extra {
+            superset.push(src.next_pattern());
+        }
+        let sim = FaultSimulator::new(&net);
+        let d_base = sim.run_patterns(&faults, &base);
+        let d_super = sim.run_patterns(&faults, &superset);
+        for (i, d) in d_base.detected_at.iter().enumerate() {
+            if d.is_some() {
+                prop_assert!(d_super.detected_at[i].is_some(), "fault {} lost", i);
+                prop_assert_eq!(d_super.detected_at[i], *d);
+            }
+        }
+    }
+
+    /// The number of library-derived fault entries equals classes summed
+    /// over gates plus 2 per primary input.
+    #[test]
+    fn fault_list_size_formula(seed in 0u64..200) {
+        use dynmos_core::FaultLibrary;
+        let net = random_domino_network(seed, 3, 3);
+        let list = network_fault_list(&net);
+        let classes: usize = (0..net.gates().len())
+            .map(|g| {
+                let cell: &Cell = net.cell_of(dynmos_netlist::GateRef(g as u32));
+                FaultLibrary::generate(cell).classes().len()
+            })
+            .sum();
+        prop_assert_eq!(list.len(), classes + 2 * net.primary_inputs().len());
+    }
+}
+
+/// Empirical law-of-large-numbers check tying the exact detection
+/// probability to simulated detection frequency.
+#[test]
+fn exact_probability_matches_simulated_frequency() {
+    use dynmos_netlist::generate::domino_wide_and;
+    let n = 6;
+    let net = single_cell_network(domino_wide_and(n));
+    let faults = network_fault_list(&net);
+    let s0z = faults
+        .iter()
+        .find(|e| {
+            matches!(
+                &e.fault,
+                dynmos_netlist::NetworkFault::GateFunction(_, f)
+                    if *f == dynmos_logic::Bexpr::FALSE
+            )
+        })
+        .expect("s0-z exists");
+    let p = exact_detection_probability(&net, &s0z.fault, &vec![0.5; n]);
+    // Count detecting patterns among 64k random ones.
+    let mut src = PatternSource::uniform(5, n);
+    let mut detecting = 0u64;
+    let total = 65_536u64;
+    let sim = FaultSimulator::new(&net);
+    let mut seen = 0u64;
+    while seen < total {
+        let batch = src.next_batch();
+        let good = net.eval_packed(&batch);
+        let bad = net.eval_packed_faulty(&batch, Some(&s0z.fault));
+        let mut differ = 0u64;
+        for (g, b) in good.iter().zip(&bad) {
+            differ |= g ^ b;
+        }
+        detecting += differ.count_ones() as u64;
+        seen += 64;
+    }
+    let _ = sim;
+    let freq = detecting as f64 / total as f64;
+    assert!(
+        (freq - p).abs() < 0.005,
+        "frequency {freq} vs exact {p} (n={n})"
+    );
+}

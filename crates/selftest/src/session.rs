@@ -1,0 +1,206 @@
+//! At-speed self-test sessions.
+//!
+//! The paper's argument for random *self* test (section 4): external
+//! testers are slow, so delay-class faults (`CMOS-3` case b, closed
+//! inverter transistors) escape them; on-chip generators and signature
+//! registers run at system speed and catch the same faults as stuck
+//! values. "Random self tests also cover most of the timing faults in
+//! contrast to an external test."
+//!
+//! [`SelfTestSession`] models exactly that contrast: it drives a network
+//! with weighted LFSR patterns, compacts the responses in a MISR, and
+//! compares against the golden signature. Faults flagged `at_speed_only`
+//! manifest their faulty function only when the session runs at speed —
+//! at slow (external-tester) clock rates the contended node still settles
+//! correctly and the fault escapes.
+
+use crate::misr::Misr;
+use crate::weighted::{WeightSpec, WeightedGenerator};
+use dynmos_netlist::Network;
+use dynmos_protest::FaultEntry;
+
+/// Result of one self-test run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// The golden (fault-free) signature.
+    pub golden_signature: u64,
+    /// The observed signature.
+    pub observed_signature: u64,
+    /// Patterns applied.
+    pub patterns: u64,
+}
+
+impl SessionOutcome {
+    /// `true` when the signatures differ — the fault was caught.
+    pub fn detected(&self) -> bool {
+        self.golden_signature != self.observed_signature
+    }
+}
+
+/// A BILBO-style self-test session for a combinational network.
+#[derive(Debug, Clone)]
+pub struct SelfTestSession<'n> {
+    net: &'n Network,
+    degree: u32,
+    seed: u64,
+    specs: Vec<WeightSpec>,
+    misr_width: u32,
+    /// `true` when the session clocks at system speed (on-chip BILBO);
+    /// `false` models a slow external tester.
+    at_speed: bool,
+}
+
+impl<'n> SelfTestSession<'n> {
+    /// Creates a session with uniform weights, a 20-bit generator and a
+    /// 16-bit MISR, running at speed.
+    pub fn new(net: &'n Network, seed: u64) -> Self {
+        let n = net.primary_inputs().len();
+        Self {
+            net,
+            degree: 20,
+            seed,
+            specs: vec![WeightSpec { k: 1, or: false }; n],
+            misr_width: 16,
+            at_speed: true,
+        }
+    }
+
+    /// Uses PROTEST-optimized probabilities, realized by the nearest
+    /// AND/OR weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the network's input count.
+    pub fn with_weights(mut self, probabilities: &[f64]) -> Self {
+        assert_eq!(
+            probabilities.len(),
+            self.net.primary_inputs().len(),
+            "one probability per primary input"
+        );
+        self.specs = probabilities
+            .iter()
+            .map(|&p| WeightSpec::nearest(p))
+            .collect();
+        self
+    }
+
+    /// Selects slow (external-tester) clocking: at-speed-only faults will
+    /// escape.
+    pub fn external_tester(mut self) -> Self {
+        self.at_speed = false;
+        self
+    }
+
+    /// Runs `patterns` patterns against an optional fault and returns the
+    /// signature comparison.
+    pub fn run(&self, fault: Option<&FaultEntry>, patterns: u64) -> SessionOutcome {
+        let golden = self.signature(None, patterns);
+        let observed = self.signature(fault, patterns);
+        SessionOutcome {
+            golden_signature: golden,
+            observed_signature: observed,
+            patterns,
+        }
+    }
+
+    fn signature(&self, fault: Option<&FaultEntry>, patterns: u64) -> u64 {
+        let mut gen = WeightedGenerator::new(self.degree, self.seed, self.specs.clone());
+        let mut misr = Misr::new(self.misr_width);
+        // A slow tester lets contended nodes settle: the at-speed-only
+        // fault behaves like the fault-free machine.
+        let effective_fault = match fault {
+            Some(e) if e.at_speed_only && !self.at_speed => None,
+            Some(e) => Some(&e.fault),
+            None => None,
+        };
+        let mut applied = 0u64;
+        while applied < patterns {
+            let batch = gen.next_batch();
+            let outs = self.net.eval_packed_faulty(&batch, effective_fault);
+            let lanes = (patterns - applied).min(64);
+            for lane in 0..lanes {
+                let mut word = 0u64;
+                for (k, o) in outs.iter().enumerate() {
+                    word |= ((o >> lane) & 1) << (k as u64 % u64::from(self.misr_width));
+                }
+                misr.absorb(word);
+            }
+            applied += lanes;
+        }
+        misr.signature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmos_logic::Bexpr;
+    use dynmos_netlist::generate::{c17_dynamic_nmos, fig9_cell, single_cell_network};
+    use dynmos_netlist::{GateRef, NetworkFault};
+    use dynmos_protest::network_fault_list;
+
+    #[test]
+    fn fault_free_run_matches_golden() {
+        let net = c17_dynamic_nmos();
+        let session = SelfTestSession::new(&net, 0xACE1);
+        let out = session.run(None, 256);
+        assert!(!out.detected());
+        assert_eq!(out.patterns, 256);
+    }
+
+    #[test]
+    fn functional_faults_change_the_signature() {
+        let net = single_cell_network(fig9_cell());
+        let faults = network_fault_list(&net);
+        let session = SelfTestSession::new(&net, 0xACE1);
+        let mut caught = 0;
+        for e in &faults {
+            if session.run(Some(e), 512).detected() {
+                caught += 1;
+            }
+        }
+        // All 20 entries are functionally detectable; with 512 patterns
+        // over 5 inputs, every class should be exercised.
+        assert_eq!(caught, faults.len());
+    }
+
+    #[test]
+    fn at_speed_only_fault_escapes_external_tester_but_not_self_test() {
+        let net = single_cell_network(fig9_cell());
+        // Craft an at-speed-only entry: CMOS-3-like s0-z that only shows
+        // at full clock rate.
+        let entry = FaultEntry {
+            label: "g0/CMOS-3".into(),
+            fault: NetworkFault::GateFunction(GateRef(0), Bexpr::FALSE),
+            at_speed_only: true,
+        };
+        let self_test = SelfTestSession::new(&net, 7);
+        assert!(self_test.run(Some(&entry), 256).detected());
+        let external = SelfTestSession::new(&net, 7).external_tester();
+        assert!(!external.run(Some(&entry), 256).detected());
+    }
+
+    #[test]
+    fn weighted_session_catches_hard_fault_with_few_patterns() {
+        use dynmos_netlist::generate::domino_wide_and;
+        let n = 10;
+        let net = single_cell_network(domino_wide_and(n));
+        let hard = FaultEntry {
+            label: "s0-z".into(),
+            fault: NetworkFault::GateFunction(GateRef(0), Bexpr::FALSE),
+            at_speed_only: false,
+        };
+        // 256 uniform patterns almost surely miss p=2^-10; weighted at
+        // 0.9375 catch it (p ≈ 0.52).
+        let weighted = SelfTestSession::new(&net, 3).with_weights(&vec![0.9375; n]);
+        assert!(weighted.run(Some(&hard), 256).detected());
+    }
+
+    #[test]
+    fn signatures_are_seed_deterministic() {
+        let net = c17_dynamic_nmos();
+        let a = SelfTestSession::new(&net, 42).run(None, 128);
+        let b = SelfTestSession::new(&net, 42).run(None, 128);
+        assert_eq!(a.golden_signature, b.golden_signature);
+    }
+}

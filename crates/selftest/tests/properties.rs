@@ -1,0 +1,137 @@
+//! Property-based tests for the self-test substrate.
+
+use dynmos_selftest::{Bilbo, BilboMode, Lfsr, Misr, WeightSpec, WeightedGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LFSRs never hit the all-zero state and stay within their width.
+    #[test]
+    fn lfsr_stays_nonzero_and_bounded(degree in 2u32..=16, seed in 1u64..1000) {
+        let mask = (1u64 << degree) - 1;
+        prop_assume!(seed & mask != 0);
+        let mut l = Lfsr::new(degree, seed);
+        for _ in 0..200 {
+            l.step();
+            prop_assert_ne!(l.state(), 0);
+            prop_assert!(l.state() <= mask);
+        }
+    }
+
+    /// Two LFSRs from different nonzero seeds traverse the same cycle
+    /// (maximal length): after enough steps, one reaches the other's
+    /// start state.
+    #[test]
+    fn lfsr_single_cycle(degree in 2u32..=10, seed in 1u64..200) {
+        let mask = (1u64 << degree) - 1;
+        prop_assume!(seed & mask != 0);
+        let target = 1u64;
+        let mut l = Lfsr::new(degree, seed);
+        let mut found = false;
+        for _ in 0..l.period() {
+            if l.state() == target {
+                found = true;
+                break;
+            }
+            l.step();
+        }
+        prop_assert!(found, "state 1 unreachable from seed {}", seed);
+    }
+
+    /// MISR linearity: absorbing `a ^ e` differs from absorbing `a`
+    /// exactly when the error `e` stream is nonzero (single-fault
+    /// aliasing cannot happen for one injected error word).
+    #[test]
+    fn misr_detects_single_error_word(
+        width in 4u32..=24,
+        words in prop::collection::vec(any::<u64>(), 1..40),
+        pos in any::<prop::sample::Index>(),
+        err in 1u64..u64::MAX,
+    ) {
+        let p = pos.index(words.len());
+        let mask = (1u64 << width) - 1;
+        let err = err & mask;
+        prop_assume!(err != 0);
+        let mut good = Misr::new(width);
+        let mut bad = Misr::new(width);
+        for (i, &w) in words.iter().enumerate() {
+            good.absorb(w & mask);
+            bad.absorb(if i == p { (w & mask) ^ err } else { w & mask });
+        }
+        prop_assert_ne!(good.signature(), bad.signature());
+    }
+
+    /// MISR signatures are deterministic functions of the stream.
+    #[test]
+    fn misr_is_deterministic(width in 2u32..=32, words in prop::collection::vec(any::<u64>(), 0..30)) {
+        let mut a = Misr::new(width);
+        let mut b = Misr::new(width);
+        for &w in &words {
+            a.absorb(w);
+            b.absorb(w);
+        }
+        prop_assert_eq!(a.signature(), b.signature());
+    }
+
+    /// WeightSpec::nearest always returns the realizable weight with
+    /// minimal error.
+    #[test]
+    fn nearest_weight_is_optimal(target in 0.001f64..0.999) {
+        let best = WeightSpec::nearest(target);
+        let err = (best.probability() - target).abs();
+        for k in 1..=6u32 {
+            for or in [false, true] {
+                let w = WeightSpec { k, or };
+                prop_assert!(
+                    (w.probability() - target).abs() >= err - 1e-12,
+                    "{:?} beats {:?} for {}", w, best, target
+                );
+            }
+        }
+    }
+
+    /// Weighted batches agree with scalar pattern generation.
+    #[test]
+    fn batch_equals_patterns(seed in 1u64..1000, k in 1u32..=4, or: bool) {
+        let specs = vec![WeightSpec { k, or }; 3];
+        let mut a = WeightedGenerator::new(16, seed, specs.clone());
+        let mut b = WeightedGenerator::new(16, seed, specs);
+        let batch = a.next_batch();
+        for lane in 0..64 {
+            let pat = b.next_pattern();
+            for (i, &bit) in pat.iter().enumerate() {
+                prop_assert_eq!((batch[i] >> lane) & 1 == 1, bit);
+            }
+        }
+    }
+
+    /// BILBO scan mode implements an exact shift register.
+    #[test]
+    fn bilbo_scan_shifts(width in 2u32..=16, bits in prop::collection::vec(any::<bool>(), 1..16)) {
+        let mut reg = Bilbo::new(width, 1);
+        reg.set_mode(BilboMode::Scan);
+        let mut model = 0u64;
+        let mask = (1u64 << width) - 1;
+        for &bit in &bits {
+            reg.set_scan_in(bit);
+            reg.clock(0);
+            model = ((model << 1) | u64::from(bit)) & mask;
+        }
+        prop_assert_eq!(reg.contents(), model);
+    }
+
+    /// BILBO signature mode equals a standalone MISR over the same data.
+    #[test]
+    fn bilbo_signature_equals_misr(width in 2u32..=24, words in prop::collection::vec(any::<u64>(), 1..30)) {
+        let mut reg = Bilbo::new(width, 1);
+        reg.set_mode(BilboMode::Signature);
+        let mut misr = Misr::new(width);
+        let mask = (1u64 << width) - 1;
+        for &w in &words {
+            reg.clock(w);
+            misr.absorb(w & mask);
+        }
+        prop_assert_eq!(reg.signature(), misr.signature());
+    }
+}

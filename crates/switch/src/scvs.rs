@@ -1,0 +1,290 @@
+//! SCVS (cascode voltage switch) gates — the paper's related family.
+//!
+//! The paper notes that "for CMOS-domino logic or SCVS-circuits some work
+//! has already been done \[4, 7\]" and analyzes domino as the
+//! representative. This module implements the clocked dual-rail SCVS
+//! (DCVS) gate as an *extension*, because it showcases the same theorem
+//! with a bonus: dual-rail outputs make many faults **self-checking**.
+//!
+//! Construction: inputs arrive as dual-rail pairs `(x_t, x_f)`. Two
+//! precharged branches compute the pair of outputs:
+//!
+//! * the *true* branch pulls down through the positive network `T` over
+//!   the `x_t` rails → `z_t = T(x)`,
+//! * the *false* branch pulls down through the dual network `dual(T)`
+//!   over the `x_f` rails → `z_f = dual(T)(/x) = /T(x)` (De Morgan).
+//!
+//! A fault-free evaluation always yields the codeword `(z_t, z_f)` ∈
+//! {(0,1), (1,0)}; a single stuck-open in either tree produces the
+//! non-codeword `(0,0)` on the affected input words — detectable by a
+//! two-rail checker without reference responses.
+
+use crate::circuit::{Circuit, CircuitBuilder, FetKind, NodeId, TransistorId};
+use crate::level::Logic;
+use crate::sim::Sim;
+use crate::sn::{build_sn, dual, SnError, SnHandle};
+use dynmos_logic::Bexpr;
+
+/// A clocked dual-rail SCVS gate.
+#[derive(Debug, Clone)]
+pub struct ScvsGate {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Clock `Φ`.
+    pub clock: NodeId,
+    /// True input rails, one per variable.
+    pub inputs_t: Vec<NodeId>,
+    /// False (complement) input rails, one per variable.
+    pub inputs_f: Vec<NodeId>,
+    /// Precharged internal node of the true branch.
+    pub y_t: NodeId,
+    /// Precharged internal node of the false branch.
+    pub y_f: NodeId,
+    /// True output (`z_t = T`).
+    pub z_t: NodeId,
+    /// False output (`z_f = /T`).
+    pub z_f: NodeId,
+    /// True-branch precharge transistor.
+    pub pre_t: TransistorId,
+    /// False-branch precharge transistor.
+    pub pre_f: TransistorId,
+    /// True-branch switch network.
+    pub sn_t: SnHandle,
+    /// False-branch switch network.
+    pub sn_f: SnHandle,
+}
+
+/// Builds a clocked dual-rail SCVS gate for a positive series-parallel
+/// transmission function over `nvars` inputs.
+///
+/// # Errors
+///
+/// Returns [`SnError`] if the expression is not positive series-parallel.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_logic::{parse_expr, VarTable};
+/// use dynmos_switch::scvs::scvs_gate;
+/// use dynmos_switch::{Logic, Sim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut vars = VarTable::new();
+/// let t = parse_expr("a*b+c", &mut vars)?;
+/// let gate = scvs_gate(&t, 3)?;
+/// let mut sim = Sim::new(&gate.circuit);
+/// let (zt, zf) = gate.evaluate(&mut sim, 0b011); // a=1,b=1
+/// assert_eq!((zt, zf), (Logic::One, Logic::Zero)); // valid codeword
+/// # Ok(())
+/// # }
+/// ```
+pub fn scvs_gate(transmission: &Bexpr, nvars: usize) -> Result<ScvsGate, SnError> {
+    let mut b = CircuitBuilder::new();
+    let clock = b.input("phi");
+    let inputs_t: Vec<NodeId> = (0..nvars).map(|i| b.input(&format!("it{i}"))).collect();
+    let inputs_f: Vec<NodeId> = (0..nvars).map(|i| b.input(&format!("if{i}"))).collect();
+    let (vdd, vss) = (b.vdd(), b.vss());
+
+    let y_t = b.node("y_t");
+    let y_f = b.node("y_f");
+    let z_t = b.node("z_t");
+    let z_f = b.node("z_f");
+    let foot_t = b.fresh_node("foot_t");
+    let foot_f = b.fresh_node("foot_f");
+
+    let pre_t = b.fet(FetKind::P, clock, vdd, y_t, "PREt");
+    let pre_f = b.fet(FetKind::P, clock, vdd, y_f, "PREf");
+
+    // True branch: y_t pulled down when T(x_t rails) holds.
+    let sn_t = build_sn(&mut b, transmission, y_t, foot_t, FetKind::N, &|v| {
+        inputs_t.get(v.index()).copied()
+    })?;
+    // False branch: dual network over the complement rails.
+    let dual_expr = dual(transmission)?;
+    let sn_f = build_sn(&mut b, &dual_expr, y_f, foot_f, FetKind::N, &|v| {
+        inputs_f.get(v.index()).copied()
+    })?;
+
+    let ft = b.fet(FetKind::N, clock, foot_t, vss, "FOOTt");
+    let ff = b.fet(FetKind::N, clock, foot_f, vss, "FOOTf");
+    let _ = (ft, ff);
+
+    // Output inverters (domino-style buffering keeps outputs monotone).
+    b.fet(FetKind::P, y_t, vdd, z_t, "INVtP");
+    b.fet(FetKind::N, y_t, z_t, vss, "INVtN");
+    b.fet(FetKind::P, y_f, vdd, z_f, "INVfP");
+    b.fet(FetKind::N, y_f, z_f, vss, "INVfN");
+
+    Ok(ScvsGate {
+        circuit: b.finish(),
+        clock,
+        inputs_t,
+        inputs_f,
+        y_t,
+        y_f,
+        z_t,
+        z_f,
+        pre_t,
+        pre_f,
+        sn_t,
+        sn_f,
+    })
+}
+
+impl ScvsGate {
+    /// Runs one precharge/evaluate cycle; returns `(z_t, z_f)` during
+    /// evaluation. Bit `i` of `word` drives `x_t[i]`; `x_f[i]` gets the
+    /// complement.
+    pub fn evaluate(&self, sim: &mut Sim<'_>, word: u64) -> (Logic, Logic) {
+        sim.set_input(self.clock, Logic::Zero);
+        for &i in self.inputs_t.iter().chain(&self.inputs_f) {
+            sim.set_input(i, Logic::Zero);
+        }
+        sim.settle();
+        sim.set_input(self.clock, Logic::One);
+        for (k, (&it, &ifl)) in self.inputs_t.iter().zip(&self.inputs_f).enumerate() {
+            let bit = (word >> k) & 1 == 1;
+            sim.set_input(it, Logic::from_bool(bit));
+            sim.set_input(ifl, Logic::from_bool(!bit));
+        }
+        sim.settle();
+        (sim.level(self.z_t), sim.level(self.z_f))
+    }
+
+    /// `true` when the output pair is a valid dual-rail codeword
+    /// (exactly one rail high).
+    pub fn is_codeword(pair: (Logic, Logic)) -> bool {
+        matches!(
+            pair,
+            (Logic::One, Logic::Zero) | (Logic::Zero, Logic::One)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultSet, SwitchFault};
+    use dynmos_logic::{parse_expr, VarTable};
+
+    fn gate(src: &str) -> (ScvsGate, Bexpr, usize) {
+        let mut vars = VarTable::new();
+        let t = parse_expr(src, &mut vars).unwrap();
+        let n = vars.len();
+        (scvs_gate(&t, n).unwrap(), t, n)
+    }
+
+    #[test]
+    fn dual_rail_outputs_are_complementary() {
+        for src in ["a", "a*b", "a+b", "a*(b+c)", "a*b+c*d"] {
+            let (g, t, n) = gate(src);
+            for w in 0..(1u64 << n) {
+                let mut sim = Sim::new(&g.circuit);
+                let (zt, zf) = g.evaluate(&mut sim, w);
+                assert_eq!(zt, Logic::from_bool(t.eval_word(w)), "{src} zt at {w:b}");
+                assert_eq!(zf, Logic::from_bool(!t.eval_word(w)), "{src} zf at {w:b}");
+                assert!(ScvsGate::is_codeword((zt, zf)));
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_open_in_true_tree_produces_non_codeword() {
+        // Stuck-open in the true tree: on words where T holds through that
+        // transistor only, z_t reads 0 while z_f also reads 0 -> (0,0),
+        // caught by a two-rail checker with NO reference response.
+        let (g, t, n) = gate("a*b");
+        let faults = FaultSet::single(SwitchFault::StuckOpen(g.sn_t.transistors[0]));
+        let mut saw_non_codeword = false;
+        for w in 0..(1u64 << n) {
+            let mut sim = Sim::with_faults(&g.circuit, faults.clone());
+            let pair = g.evaluate(&mut sim, w);
+            if t.eval_word(w) {
+                assert_eq!(pair, (Logic::Zero, Logic::Zero), "word {w:b}");
+                saw_non_codeword = true;
+            } else {
+                assert!(ScvsGate::is_codeword(pair), "word {w:b}");
+            }
+        }
+        assert!(saw_non_codeword);
+    }
+
+    #[test]
+    fn stuck_open_in_false_tree_is_also_self_checking() {
+        let (g, t, n) = gate("a+b");
+        // dual(a+b) = a*b over the false rails; open its first transistor.
+        let faults = FaultSet::single(SwitchFault::StuckOpen(g.sn_f.transistors[0]));
+        let mut saw_non_codeword = false;
+        for w in 0..(1u64 << n) {
+            let mut sim = Sim::with_faults(&g.circuit, faults.clone());
+            let pair = g.evaluate(&mut sim, w);
+            if !t.eval_word(w) {
+                // z_f should be 1 here but cannot rise: (0,0).
+                assert_eq!(pair, (Logic::Zero, Logic::Zero), "word {w:b}");
+                saw_non_codeword = true;
+            } else {
+                assert!(ScvsGate::is_codeword(pair), "word {w:b}");
+            }
+        }
+        assert!(saw_non_codeword);
+    }
+
+    #[test]
+    fn precharge_open_makes_true_rail_stuck_high() {
+        // pre_t open is the CMOS-4 analogue on the true branch: once y_t
+        // has been discharged (A2), it can never be precharged again, so
+        // z_t sticks at 1. On T=0 words the pair becomes the non-codeword
+        // (1,1) — again caught by a two-rail checker.
+        let (g, t, n) = gate("a*b+c");
+        let faults = FaultSet::single(SwitchFault::StuckOpen(g.pre_t));
+        // Conditioning cycle discharging y_t (T true at all-ones).
+        let mut sim = Sim::with_faults(&g.circuit, faults.clone());
+        g.evaluate(&mut sim, (1 << n) - 1);
+        let mut saw_non_codeword = false;
+        for w in 0..(1u64 << n) {
+            let pair = g.evaluate(&mut sim, w);
+            assert_eq!(pair.0, Logic::One, "z_t must be stuck high at {w:b}");
+            assert_eq!(
+                pair.1,
+                Logic::from_bool(!t.eval_word(w)),
+                "z_f must still be correct at {w:b}"
+            );
+            if !t.eval_word(w) {
+                assert_eq!(pair, (Logic::One, Logic::One));
+                saw_non_codeword = true;
+            }
+        }
+        assert!(saw_non_codeword);
+    }
+
+    #[test]
+    fn scvs_is_combinational_under_faults() {
+        // The section-3 theorem extends to SCVS: history independence.
+        let (g, _, n) = gate("a*(b+c)");
+        let all = (1u64 << n) - 1;
+        for site in 0..g.sn_t.transistors.len() {
+            let faults = FaultSet::single(SwitchFault::StuckOpen(g.sn_t.transistors[site]));
+            for w in 0..(1u64 << n) {
+                let mut outs = Vec::new();
+                for history in [0u64, all, !w & all] {
+                    let mut sim = Sim::with_faults(&g.circuit, faults.clone());
+                    g.evaluate(&mut sim, all);
+                    g.evaluate(&mut sim, 0);
+                    g.evaluate(&mut sim, history);
+                    outs.push(g.evaluate(&mut sim, w));
+                }
+                assert!(
+                    outs.windows(2).all(|p| p[0] == p[1]),
+                    "site {site} word {w:b}: {outs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_sp_expressions() {
+        let mut vars = VarTable::new();
+        let t = parse_expr("/a", &mut vars).unwrap();
+        assert!(scvs_gate(&t, 1).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the switch-level simulator.
+
+use dynmos_logic::{Bexpr, VarId};
+use dynmos_switch::gates::{domino_gate, dynamic_nmos_gate, static_cmos_gate};
+use dynmos_switch::{FaultSet, Logic, Sim, SwitchFault};
+use proptest::prelude::*;
+
+/// Strategy: a positive series-parallel expression over `nvars` variables
+/// with every variable id `< nvars`.
+fn arb_sp_expr(nvars: usize) -> impl Strategy<Value = Bexpr> {
+    let leaf = (0..nvars as u32).prop_map(|v| Bexpr::var(VarId(v)));
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Bexpr::and),
+            prop::collection::vec(inner, 2..4).prop_map(Bexpr::or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fault-free domino gates compute their transmission functions for
+    /// arbitrary series-parallel networks.
+    #[test]
+    fn domino_computes_transmission(t in arb_sp_expr(4)) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        for w in 0..16u64 {
+            let mut sim = Sim::new(&gate.circuit);
+            prop_assert_eq!(
+                gate.evaluate(&mut sim, w),
+                Logic::from_bool(t.eval_word(w)),
+                "word {}", w
+            );
+        }
+    }
+
+    /// Fault-free dynamic nMOS gates compute the inverse transmission
+    /// function.
+    #[test]
+    fn dynamic_nmos_computes_inverse(t in arb_sp_expr(3)) {
+        let gate = dynamic_nmos_gate(&t, 3).expect("positive SP");
+        for w in 0..8u64 {
+            let mut sim = Sim::new(&gate.circuit);
+            prop_assert_eq!(
+                gate.evaluate(&mut sim, w),
+                Logic::from_bool(!t.eval_word(w)),
+                "word {}", w
+            );
+        }
+    }
+
+    /// Static CMOS gates compute the complement of their pull-down
+    /// network.
+    #[test]
+    fn static_cmos_computes_complement(t in arb_sp_expr(4)) {
+        let gate = static_cmos_gate(&t, 4).expect("positive SP");
+        for w in 0..16u64 {
+            let mut sim = Sim::new(&gate.circuit);
+            for (i, &node) in gate.inputs.iter().enumerate() {
+                sim.set_input(node, Logic::from_bool((w >> i) & 1 == 1));
+            }
+            sim.settle();
+            prop_assert_eq!(
+                sim.level(gate.z),
+                Logic::from_bool(!t.eval_word(w)),
+                "word {}", w
+            );
+        }
+    }
+
+    /// `settle` is idempotent: a second settle with unchanged inputs is a
+    /// no-op reaching fixpoint in one iteration.
+    #[test]
+    fn settle_is_idempotent(t in arb_sp_expr(4), w in 0u64..16) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        let mut sim = Sim::new(&gate.circuit);
+        gate.evaluate(&mut sim, w);
+        let before: Vec<Logic> = gate.circuit.node_ids().map(|n| sim.level(n)).collect();
+        let report = sim.settle();
+        let after: Vec<Logic> = gate.circuit.node_ids().map(|n| sim.level(n)).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(report.iterations, 1);
+        prop_assert!(!report.oscillated);
+    }
+
+    /// Domino evaluation under a single stuck-open SN fault is always
+    /// history-independent (the paper's theorem, sampled randomly).
+    #[test]
+    fn domino_stuck_open_is_combinational(
+        t in arb_sp_expr(4),
+        site_pick in any::<prop::sample::Index>(),
+        w in 0u64..16,
+        prev: bool,
+    ) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        let site = site_pick.index(gate.sn.transistors.len());
+        let faults = FaultSet::single(SwitchFault::StuckOpen(gate.sn.transistors[site]));
+        let mut out = Vec::new();
+        for preset in [Logic::from_bool(prev), Logic::from_bool(!prev)] {
+            let mut sim = Sim::with_faults(&gate.circuit, faults.clone());
+            sim.preset_charge(gate.z, preset);
+            sim.preset_charge(gate.y, preset.invert());
+            // A2 conditioning.
+            gate.evaluate(&mut sim, 15);
+            gate.evaluate(&mut sim, 0);
+            out.push(gate.evaluate(&mut sim, w));
+        }
+        prop_assert_eq!(out[0], out[1], "history leaked");
+    }
+
+    /// A stuck-open SN transistor can only *remove* ones from the domino
+    /// output function (monotone damage): z_faulty <= z_good pointwise.
+    #[test]
+    fn stuck_open_only_removes_ones(
+        t in arb_sp_expr(4),
+        site_pick in any::<prop::sample::Index>(),
+    ) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        let site = site_pick.index(gate.sn.transistors.len());
+        let faults = FaultSet::single(SwitchFault::StuckOpen(gate.sn.transistors[site]));
+        for w in 0..16u64 {
+            let good = {
+                let mut sim = Sim::new(&gate.circuit);
+                gate.evaluate(&mut sim, w)
+            };
+            let bad = {
+                let mut sim = Sim::with_faults(&gate.circuit, faults.clone());
+                gate.evaluate(&mut sim, w)
+            };
+            if bad == Logic::One {
+                prop_assert_eq!(good, Logic::One, "fault created a one at {}", w);
+            }
+        }
+    }
+
+    /// A stuck-closed SN transistor can only *add* ones.
+    #[test]
+    fn stuck_closed_only_adds_ones(
+        t in arb_sp_expr(4),
+        site_pick in any::<prop::sample::Index>(),
+    ) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        let site = site_pick.index(gate.sn.transistors.len());
+        let faults = FaultSet::single(SwitchFault::StuckClosed(gate.sn.transistors[site]));
+        for w in 0..16u64 {
+            let good = {
+                let mut sim = Sim::new(&gate.circuit);
+                gate.evaluate(&mut sim, w)
+            };
+            let bad = {
+                let mut sim = Sim::with_faults(&gate.circuit, faults.clone());
+                gate.evaluate(&mut sim, w)
+            };
+            if good == Logic::One {
+                prop_assert_eq!(bad, Logic::One, "fault destroyed a one at {}", w);
+            }
+        }
+    }
+
+    /// Fault-free circuits never report supply shorts after settling a
+    /// complete domino cycle.
+    #[test]
+    fn fault_free_has_no_supply_short(t in arb_sp_expr(4), w in 0u64..16) {
+        let gate = domino_gate(&t, 4).expect("positive SP");
+        let mut sim = Sim::new(&gate.circuit);
+        sim.set_input(gate.clock, Logic::Zero);
+        for &i in &gate.inputs {
+            sim.set_input(i, Logic::Zero);
+        }
+        let r1 = sim.settle();
+        prop_assert!(!r1.has_supply_short());
+        sim.set_input(gate.clock, Logic::One);
+        for (k, &i) in gate.inputs.iter().enumerate() {
+            sim.set_input(i, Logic::from_bool((w >> k) & 1 == 1));
+        }
+        let r2 = sim.settle();
+        prop_assert!(!r2.has_supply_short());
+    }
+}

@@ -1,0 +1,119 @@
+//! Static vs. dynamic: the paper's Figs. 1 and 2, reproduced at switch
+//! level.
+//!
+//! * Fig. 1 — a stuck-open pull-down transistor turns a *static* CMOS NOR
+//!   into a sequential element: for `A=1, B=0` the output remembers its
+//!   previous value `Z(t)`.
+//! * The same fault class in a *domino* CMOS NOR stays purely
+//!   combinational (the paper's section-3 theorem).
+//! * Fig. 2 — a stuck-closed pull-up turns a static inverter into a
+//!   ratioed pull-down inverter: still logically correct if the
+//!   resistance ratio is favourable, but slower — a performance
+//!   degradation, quantified by the lumped-RC model.
+//!
+//! Run with: `cargo run --example static_vs_dynamic`
+
+use dynmos::logic::{parse_expr, VarTable};
+use dynmos::switch::gates::{domino_gate, static_nor2};
+use dynmos::switch::{contention, FaultSet, Logic, RcParams, Sim, SwitchFault};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    fig1_static_nor_becomes_sequential();
+    domino_nor_stays_combinational()?;
+    fig2_performance_degradation();
+    Ok(())
+}
+
+/// The paper's Fig. 1 truth table, measured.
+fn fig1_static_nor_becomes_sequential() {
+    println!("== Fig. 1: faulty static CMOS NOR ==");
+    println!(" A B | Z(good) | Z(t+D) faulty (prev=0) | (prev=1)");
+    let nor = static_nor2();
+    for (a, b) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+        let good = {
+            let mut sim = Sim::new(&nor.circuit);
+            sim.set_input(nor.a, Logic::from_bool(a == 1));
+            sim.set_input(nor.b, Logic::from_bool(b == 1));
+            sim.settle();
+            sim.level(nor.z)
+        };
+        let faulty = |prev: Logic| {
+            let faults = FaultSet::single(SwitchFault::StuckOpen(nor.pulldown_a));
+            let mut sim = Sim::with_faults(&nor.circuit, faults);
+            sim.preset_charge(nor.z, prev);
+            sim.set_input(nor.a, Logic::from_bool(a == 1));
+            sim.set_input(nor.b, Logic::from_bool(b == 1));
+            sim.settle();
+            sim.level(nor.z)
+        };
+        let f0 = faulty(Logic::Zero);
+        let f1 = faulty(Logic::One);
+        let memory = if f0 != f1 { "  <-- Z(t): SEQUENTIAL" } else { "" };
+        println!(" {a} {b} |    {good}    |          {f0}           |    {f1}{memory}");
+    }
+    println!();
+}
+
+/// The same stuck-open fault in a domino NOR-equivalent: combinational.
+fn domino_nor_stays_combinational() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Same fault class in domino CMOS: combinational ==");
+    let mut vars = VarTable::new();
+    let t = parse_expr("a+b", &mut vars)?; // domino computes z = a+b
+    let gate = domino_gate(&t, 2)?;
+    let faults = FaultSet::single(SwitchFault::StuckOpen(gate.sn.transistors[0]));
+    println!(" a b | z(good) | z(faulty, prev z=0) | (prev z=1)");
+    for w in 0..4u64 {
+        let good = {
+            let mut sim = Sim::new(&gate.circuit);
+            gate.evaluate(&mut sim, w)
+        };
+        let with_history = |prev: Logic| {
+            let mut sim = Sim::with_faults(&gate.circuit, faults.clone());
+            sim.preset_charge(gate.z, prev);
+            gate.evaluate(&mut sim, w)
+        };
+        let f0 = with_history(Logic::Zero);
+        let f1 = with_history(Logic::One);
+        assert_eq!(f0, f1, "domino gate must not remember");
+        println!(
+            " {} {} |    {good}    |          {f0}          |    {f1}",
+            w & 1,
+            (w >> 1) & 1
+        );
+    }
+    println!(" -> output never depends on history: fault is s0-a, purely combinational\n");
+    Ok(())
+}
+
+/// The paper's Fig. 2: delay vs. resistance ratio for a stuck-closed
+/// pull-up.
+fn fig2_performance_degradation() {
+    println!("== Fig. 2: performance degradation, T1 stuck-closed inverter ==");
+    let params = RcParams::typical();
+    let r2 = 10_000.0; // pull-down on-resistance
+    let good = contention(f64::INFINITY, r2, 1.0, params);
+    println!(
+        " fault-free high->low delay: {:.2} ns",
+        good.settle_time * 1e9
+    );
+    println!(" R(T1)/R(T2) | V_final | level | delay (ns) | slowdown");
+    for ratio in [10.0, 6.0, 4.0, 3.0, 2.5, 2.0, 1.5, 1.0] {
+        let out = contention(ratio * r2, r2, 1.0, params);
+        let delay = if out.settle_time.is_finite() {
+            format!("{:8.2}", out.settle_time * 1e9)
+        } else {
+            "     inf".to_owned()
+        };
+        let slowdown = if out.settle_time.is_finite() {
+            format!("{:5.1}x", out.settle_time / good.settle_time)
+        } else {
+            " NEVER".to_owned()
+        };
+        println!(
+            "   {ratio:5.1}     |  {:.3}  |   {}   | {delay}  | {slowdown}",
+            out.v_final, out.final_level
+        );
+    }
+    println!(" -> logically correct only above the ratio threshold, and always slower:");
+    println!("    the faulty gate needs at-speed testing (section 4 of the paper)");
+}

@@ -1,0 +1,99 @@
+//! `faultlib` — the paper's library-generation workflow as a CLI.
+//!
+//! Reads a cell description in the paper's syntax (Fig. 9) from a file or
+//! stdin and prints the generated fault library: all distinguishable
+//! faulty functions in minimum disjunctive form, with fault-equivalence
+//! classes collapsed, plus PROTEST-style detection statistics.
+//!
+//! ```sh
+//! # From a file:
+//! cargo run --bin faultlib -- cell.txt
+//!
+//! # From stdin:
+//! echo 'TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;' \
+//!     | cargo run --bin faultlib
+//!
+//! # With the extended fault universe (line opens + inverter faults):
+//! cargo run --bin faultlib -- --full cell.txt
+//! ```
+
+use dynmos::model::{FaultLibrary, FaultUniverse};
+use dynmos::netlist::generate::single_cell_network;
+use dynmos::netlist::parse_cell;
+use dynmos::protest::{detection_probabilities, network_fault_list, test_length};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut path: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "--full" => full = true,
+            "--help" | "-h" => {
+                eprintln!("usage: faultlib [--full] [CELL_FILE]");
+                eprintln!("  reads a cell description (paper syntax) from CELL_FILE or stdin");
+                eprintln!("  --full  include line opens and inverter faults");
+                return ExitCode::SUCCESS;
+            }
+            other => path = Some(other.to_owned()),
+        }
+    }
+
+    let text = match &path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("faultlib: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("faultlib: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+
+    let name = path
+        .as_deref()
+        .and_then(|p| p.rsplit('/').next())
+        .and_then(|f| f.split('.').next())
+        .unwrap_or("cell");
+
+    let cell = match parse_cell(name, &text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("faultlib: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let universe = if full {
+        FaultUniverse::full()
+    } else {
+        FaultUniverse::paper_table()
+    };
+    let lib = FaultLibrary::generate_with(&cell, universe);
+    print!("{lib}");
+
+    // PROTEST summary when the exact enumerator applies.
+    if cell.input_count() <= 20 {
+        let net = single_cell_network(cell);
+        let faults = network_fault_list(&net);
+        let probs = vec![0.5; net.primary_inputs().len()];
+        let det = detection_probabilities(&net, &faults, &probs);
+        let hardest = det.iter().cloned().fold(f64::INFINITY, f64::min);
+        let n = test_length(&det, 0.999);
+        println!();
+        println!(
+            "random test (uniform inputs): hardest detection probability {hardest:.6}, \
+             length for 99.9% confidence: {n}"
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,63 @@
+//! # dynmos — Fault Modeling for Dynamic MOS Circuits
+//!
+//! A full reproduction of **Wunderlich & Rosenstiel, "On Fault Modeling
+//! for Dynamic MOS Circuits", 23rd Design Automation Conference (1986)**.
+//!
+//! The paper's result: in dynamic nMOS and domino CMOS, *every* fault of
+//! the common physical fault model (open line, transistor stuck-open,
+//! transistor stuck-closed) leaves a gate **combinational** — unlike
+//! static CMOS, where stuck-open faults create sequential behaviour and
+//! break every classical test tool. Each fault maps to a stuck-at, a
+//! faulty combinational function, or a pure performance degradation; fault
+//! libraries can be generated automatically per cell; and probabilistic
+//! testability analysis (the PROTEST tool) plus random self-test close the
+//! loop.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`logic`] — Boolean substrate (expressions, truth tables, minimal
+//!   DNF, signal probabilities),
+//! * [`switch`] — switch-level simulator with charge states, fault
+//!   injection and RC timing,
+//! * [`netlist`] — technology-tagged cells (the paper's description
+//!   language) and gate-level networks,
+//! * [`model`] — **the paper's contribution**: the fault model, the
+//!   section-3 classification theorems and the fault library generator,
+//! * [`protest`] — PROTEST: signal/detection probabilities, test lengths,
+//!   input-probability optimization, pattern-parallel fault simulation,
+//! * [`atpg`] — PODEM-style deterministic TPG and the apply-twice
+//!   strategy,
+//! * [`selftest`] — LFSR/MISR/BILBO, weighted generators, at-speed
+//!   self-test sessions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynmos::model::FaultLibrary;
+//! use dynmos::netlist::parse_cell;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 9 gate, in the paper's own description language.
+//! let cell = parse_cell(
+//!     "fig9",
+//!     "TECHNOLOGY domino-CMOS;
+//!      INPUT a,b,c,d,e;
+//!      OUTPUT u;
+//!      x1 := a*(b+c);
+//!      x2 := d*e;
+//!      u := x1+x2;",
+//! )?;
+//! let lib = FaultLibrary::generate(&cell);
+//! assert_eq!(lib.classes().len(), 10); // the paper's ten fault classes
+//! println!("{lib}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dynmos_atpg as atpg;
+pub use dynmos_core as model;
+pub use dynmos_logic as logic;
+pub use dynmos_netlist as netlist;
+pub use dynmos_protest as protest;
+pub use dynmos_selftest as selftest;
+pub use dynmos_switch as switch;

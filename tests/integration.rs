@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full pipelines of the paper, wired
+//! end to end through the `dynmos` facade.
+
+use dynmos::atpg::{apply_twice, generate_test_set};
+use dynmos::logic::{min_dnf_string, parse_expr, TruthTable, VarTable};
+use dynmos::model::{classify, validate_cell, FaultLibrary, PhysicalFault};
+use dynmos::netlist::generate::{
+    c17_dynamic_nmos, carry_chain, single_cell_network,
+};
+use dynmos::netlist::{parse_cell, Technology};
+use dynmos::protest::{
+    detection_probabilities, network_fault_list, optimize_input_probabilities, test_length,
+    FaultSimulator, PatternSource,
+};
+use dynmos::selftest::SelfTestSession;
+use dynmos::switch::gates::{domino_gate, static_nor2};
+use dynmos::switch::{FaultSet, Logic, Sim, SwitchFault};
+
+/// The full paper story on the Fig. 9 gate: description text -> cell ->
+/// library -> network fault list -> ATPG -> apply twice -> 100% coverage.
+#[test]
+fn fig9_end_to_end() {
+    let cell = parse_cell(
+        "fig9",
+        "TECHNOLOGY domino-CMOS;
+         INPUT a,b,c,d,e;
+         OUTPUT u;
+         x1 := a*(b+c);
+         x2 := d*e;
+         u := x1+x2;",
+    )
+    .expect("the paper's own example parses");
+    assert_eq!(cell.technology(), Technology::DominoCmos);
+
+    let lib = FaultLibrary::generate(&cell);
+    assert_eq!(lib.classes().len(), 10);
+
+    let net = single_cell_network(cell);
+    let faults = network_fault_list(&net);
+    let report = generate_test_set(&net, &faults, 0);
+    assert!(report.redundant.is_empty() && report.aborted.is_empty());
+
+    let doubled = apply_twice(&report.tests);
+    let outcome = FaultSimulator::new(&net).run_patterns(&faults, &doubled);
+    assert_eq!(outcome.coverage(), 1.0);
+}
+
+/// Classification (symbolic) and switch-level simulation (electrical)
+/// agree on every fault of a mixed-technology corpus.
+#[test]
+fn classification_agrees_with_switch_level() {
+    for text in [
+        "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z; z := a*(b+c);",
+        "TECHNOLOGY dynamic-nMOS; INPUT a,b,c; OUTPUT z; z := a*b+c;",
+    ] {
+        let cell = parse_cell("cut", text).expect("valid");
+        let v = validate_cell(&cell);
+        assert!(v.all_combinational(), "{text}");
+        assert!(v.all_match(), "{text}");
+    }
+}
+
+/// The same physical defect class (stuck-open) is sequential in static
+/// CMOS and combinational in domino CMOS — the paper's core contrast.
+#[test]
+fn static_sequential_dynamic_combinational() {
+    // Static: Fig. 1 memory row exists.
+    let nor = static_nor2();
+    let faults = FaultSet::single(SwitchFault::StuckOpen(nor.pulldown_a));
+    let mut outputs = Vec::new();
+    for prev in [Logic::Zero, Logic::One] {
+        let mut sim = Sim::with_faults(&nor.circuit, faults.clone());
+        sim.preset_charge(nor.z, prev);
+        sim.set_input(nor.a, Logic::One);
+        sim.set_input(nor.b, Logic::Zero);
+        sim.settle();
+        outputs.push(sim.level(nor.z));
+    }
+    assert_ne!(outputs[0], outputs[1], "static NOR must remember");
+
+    // Dynamic: same fault kind, no memory on any word.
+    let mut vars = VarTable::new();
+    let t = parse_expr("a+b", &mut vars).expect("valid");
+    let gate = domino_gate(&t, 2).expect("positive SP");
+    let dfaults = FaultSet::single(SwitchFault::StuckOpen(gate.sn.transistors[0]));
+    for w in 0..4u64 {
+        let mut with_history = Vec::new();
+        for prev in [Logic::Zero, Logic::One] {
+            let mut sim = Sim::with_faults(&gate.circuit, dfaults.clone());
+            sim.preset_charge(gate.z, prev);
+            with_history.push(gate.evaluate(&mut sim, w));
+        }
+        assert_eq!(with_history[0], with_history[1], "domino at word {w}");
+    }
+}
+
+/// PROTEST length prediction is validated by actual fault simulation:
+/// running the predicted number of patterns detects all faults with high
+/// empirical frequency.
+#[test]
+fn protest_length_prediction_holds_empirically() {
+    let net = c17_dynamic_nmos();
+    let faults = network_fault_list(&net);
+    let probs = vec![0.5; 5];
+    let det = detection_probabilities(&net, &faults, &probs);
+    let n = test_length(&det, 0.99);
+    let sim = FaultSimulator::new(&net);
+    let mut successes = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let mut src = PatternSource::uniform(seed, 5);
+        let out = sim.run_random(&faults, &mut src, n);
+        if out.coverage() >= 1.0 {
+            successes += 1;
+        }
+    }
+    // Demanded confidence 0.99; allow slack for the small trial count.
+    assert!(
+        successes >= trials * 9 / 10,
+        "only {successes}/{trials} runs reached full coverage within {n} patterns"
+    );
+}
+
+/// Optimized probabilities from PROTEST plug into the self-test hardware
+/// and reduce detection latency on a skewed circuit.
+#[test]
+fn protest_weights_drive_selftest_hardware() {
+    use dynmos::netlist::generate::domino_wide_and;
+    let n = 8;
+    let net = single_cell_network(domino_wide_and(n));
+    let faults = network_fault_list(&net);
+    let report = optimize_input_probabilities(&net, &faults, 0.999, 6);
+    let session = SelfTestSession::new(&net, 0xACE1).with_weights(&report.probabilities);
+    let mut caught = 0;
+    for e in &faults {
+        if session.run(Some(e), 256).detected() {
+            caught += 1;
+        }
+    }
+    assert_eq!(caught, faults.len(), "weighted self-test must catch all");
+}
+
+/// The library's minimal DNFs are logically equivalent to direct
+/// classification, across a random domino corpus.
+#[test]
+fn library_functions_equal_classified_functions() {
+    use dynmos::netlist::generate::random_domino_cell;
+    for seed in 0..5 {
+        let cell = random_domino_cell(seed, 4, 7);
+        let lib = FaultLibrary::generate(&cell);
+        for class in lib.classes() {
+            for &fault in &class.faults {
+                let effect = classify(&cell, fault);
+                let direct = TruthTable::from_expr(&effect.function, cell.input_count());
+                assert_eq!(
+                    direct, class.table,
+                    "seed {seed}, fault {fault:?} table mismatch"
+                );
+            }
+        }
+    }
+}
+
+/// Both dynamic nMOS precharge faults collapse to s0-z (the paper's
+/// "very interesting fact") — confirmed symbolically and electrically.
+#[test]
+fn nmos_precharge_collapse() {
+    let cell = parse_cell(
+        "g",
+        "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;",
+    )
+    .expect("valid");
+    let lib = FaultLibrary::generate(&cell);
+    let open_class = lib.class_of(PhysicalFault::PrechargeOpen).expect("classed");
+    let closed_class = lib
+        .class_of(PhysicalFault::PrechargeClosed)
+        .expect("classed");
+    assert_eq!(open_class.id, closed_class.id);
+    let vars = lib.vars().clone();
+    assert_eq!(min_dnf_string(&open_class.table, &vars), "0");
+}
+
+/// Carry chain: ATPG test set stays compact as the chain grows, and the
+/// doubled set always reaches full coverage.
+#[test]
+fn carry_chain_scales() {
+    for bits in [2usize, 4, 6] {
+        let net = carry_chain(bits);
+        let faults = network_fault_list(&net);
+        let report = generate_test_set(&net, &faults, 0);
+        assert!(report.aborted.is_empty(), "{bits} bits aborted");
+        let outcome =
+            FaultSimulator::new(&net).run_patterns(&faults, &apply_twice(&report.tests));
+        let undetected: Vec<_> = outcome
+            .escapes()
+            .iter()
+            .map(|&i| faults[i].label.clone())
+            .filter(|l| !report.redundant.contains(l))
+            .collect();
+        assert!(undetected.is_empty(), "{bits} bits: {undetected:?}");
+    }
+}
