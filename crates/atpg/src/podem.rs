@@ -13,8 +13,8 @@
 //! "non detectable" faults).
 
 use crate::tri::{eval_tri, Tri};
-use dynmos_netlist::{Network, NetworkFault};
-use dynmos_protest::{FaultEntry, FaultSimulator};
+use dynmos_netlist::{Network, NetworkFault, PackedEvaluator};
+use dynmos_protest::FaultEntry;
 
 /// Result of a single-fault ATPG run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +53,9 @@ impl Machine {
         let functions = (0..net.gates().len())
             .map(|gi| match fault {
                 Some(NetworkFault::GateFunction(fg, f)) if fg.index() == gi => f.clone(),
-                _ => net.cell_of(dynmos_netlist::GateRef(gi as u32)).logic_function(),
+                _ => net
+                    .cell_of(dynmos_netlist::GateRef(gi as u32))
+                    .logic_function(),
             })
             .collect();
         let stuck = match fault {
@@ -183,9 +185,7 @@ fn search(
     // "fault cannot be activated" (site forced equal) and reconvergent
     // masking (the difference is definitely absorbed on every path).
     let mut maybe = vec![false; net.net_count()];
-    let both_definite_equal = |i: usize| -> bool {
-        good[i].is_known() && good[i] == bad[i]
-    };
+    let both_definite_equal = |i: usize| -> bool { good[i].is_known() && good[i] == bad[i] };
     maybe[site.index()] = !both_definite_equal(site.index());
     for &g in net.topo_order() {
         let inst = &net.gates()[g.index()];
@@ -356,7 +356,13 @@ pub fn generate_test_set(
     faults: &[FaultEntry],
     max_backtracks: u64,
 ) -> TestSetReport {
-    let sim = FaultSimulator::new(net);
+    // One compiled evaluator and one prepared fault apiece serve the
+    // whole dropping loop; each new test diffs only the still-uncovered
+    // faults, and only their fanout cones.
+    let mut ev = PackedEvaluator::new(net);
+    let prepared: Vec<_> = faults.iter().map(|e| net.prepare_fault(&e.fault)).collect();
+    let n = net.primary_inputs().len();
+    let mut batch = vec![0u64; n];
     let mut covered = vec![false; faults.len()];
     let mut tests: Vec<Vec<bool>> = Vec::new();
     let mut redundant = Vec::new();
@@ -367,10 +373,13 @@ pub fn generate_test_set(
         }
         match generate_test(net, &entry.fault, max_backtracks) {
             AtpgOutcome::Test(t) => {
-                // Drop everything this test covers.
-                let outcome = sim.run_patterns(faults, std::slice::from_ref(&t));
-                for (j, d) in outcome.detected_at.iter().enumerate() {
-                    if d.is_some() {
+                // Drop everything this test covers (lane 0 of the batch).
+                for (b, &bit) in batch.iter_mut().zip(&t) {
+                    *b = bit as u64;
+                }
+                ev.eval(&batch);
+                for (j, p) in prepared.iter().enumerate() {
+                    if !covered[j] && ev.fault_diff64(p) & 1 == 1 {
                         covered[j] = true;
                     }
                 }
@@ -413,6 +422,7 @@ mod tests {
     };
     use dynmos_netlist::GateRef;
     use dynmos_protest::network_fault_list;
+    use dynmos_protest::FaultSimulator;
 
     #[test]
     fn finds_tests_for_all_fig9_classes() {
@@ -420,7 +430,9 @@ mod tests {
         let faults = network_fault_list(&net);
         for entry in &faults {
             let out = generate_test(&net, &entry.fault, 0);
-            let test = out.test().unwrap_or_else(|| panic!("{} untested", entry.label));
+            let test = out
+                .test()
+                .unwrap_or_else(|| panic!("{} untested", entry.label));
             // Verify with the fault simulator.
             let sim = FaultSimulator::new(&net);
             let r = sim.run_patterns(

@@ -4,12 +4,14 @@
 //! and figure; the tables themselves are printed by the `experiments`
 //! binary (`cargo run --release -p dynmos-bench --bin experiments`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynmos_core::{validate_cell, FaultLibrary};
 use dynmos_netlist::generate::{
-    and_or_tree, c17_dynamic_nmos, domino_wide_and, fig9_cell, random_domino_cell,
+    and_or_tree, c17_dynamic_nmos, carry_chain, domino_wide_and, fig9_cell, random_domino_cell,
     single_cell_network,
 };
+use dynmos_netlist::Network;
+use dynmos_protest::FaultEntry;
 use dynmos_protest::{
     detection_probabilities, network_fault_list, optimize_input_probabilities,
     signal_probabilities, test_length, FaultSimulator, PatternSource,
@@ -77,17 +79,23 @@ fn bench_e6_e10_library_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_library_generation");
     for switches in [4usize, 6, 8, 10, 12, 14] {
         let cell = random_domino_cell(2000 + switches as u64, (switches / 2).clamp(2, 6), switches);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(switches),
-            &cell,
-            |b, cell| b.iter(|| std::hint::black_box(FaultLibrary::generate(cell)).classes().len()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(switches), &cell, |b, cell| {
+            b.iter(|| {
+                std::hint::black_box(FaultLibrary::generate(cell))
+                    .classes()
+                    .len()
+            })
+        });
     }
     group.finish();
     // The paper's own gate, for the record.
     c.bench_function("e6_fig9_library_generation", |b| {
         let cell = fig9_cell();
-        b.iter(|| std::hint::black_box(FaultLibrary::generate(&cell)).classes().len())
+        b.iter(|| {
+            std::hint::black_box(FaultLibrary::generate(&cell))
+                .classes()
+                .len()
+        })
     });
 }
 
@@ -199,6 +207,78 @@ fn bench_e12_fault_simulation(c: &mut Criterion) {
     });
 }
 
+/// The legacy serial-fault kernel: full interpretive re-simulation of the
+/// whole network per fault per batch (the pre-compiled-tape
+/// `run_random`). Kept verbatim as the baseline of the
+/// `fsim_patterns_per_sec` comparison so the compiled/cone speedup stays
+/// reproducible.
+fn legacy_run_random(
+    net: &Network,
+    faults: &[FaultEntry],
+    source: &mut PatternSource,
+    max_patterns: u64,
+) -> usize {
+    let po_project = |values: &[u64]| -> Vec<u64> {
+        net.primary_outputs()
+            .iter()
+            .map(|po| values[po.index()])
+            .collect()
+    };
+    let mut detected = 0usize;
+    let mut live: Vec<usize> = (0..faults.len()).collect();
+    let mut applied = 0u64;
+    while !live.is_empty() && applied < max_patterns {
+        let batch = source.next_batch();
+        let good = po_project(&net.eval_packed_all_reference(&batch, None));
+        live.retain(|&fi| {
+            let bad = po_project(&net.eval_packed_all_reference(&batch, Some(&faults[fi].fault)));
+            let differ = good
+                .iter()
+                .zip(&bad)
+                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            if differ != 0 {
+                detected += 1;
+                false
+            } else {
+                true
+            }
+        });
+        applied += 64;
+    }
+    detected
+}
+
+/// The compiled/cone-incremental kernel vs the legacy interpreter on the
+/// same workload: 1024 random patterns against the full fault list, with
+/// fault dropping. Throughput is patterns per second.
+fn bench_fsim_throughput(c: &mut Criterion) {
+    let patterns = 1024u64;
+    for (name, net) in [
+        ("c17", c17_dynamic_nmos()),
+        ("carry_chain_8", carry_chain(8)),
+        ("carry_chain_16", carry_chain(16)),
+    ] {
+        let faults = network_fault_list(&net);
+        let n = net.primary_inputs().len();
+        let sim = FaultSimulator::new(&net);
+        let mut group = c.benchmark_group(format!("fsim_patterns_per_sec/{name}"));
+        group.throughput(Throughput::Elements(patterns));
+        group.bench_function("compiled", |b| {
+            b.iter(|| {
+                let mut src = PatternSource::uniform(9, n);
+                std::hint::black_box(sim.run_random(&faults, &mut src, patterns)).coverage()
+            })
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut src = PatternSource::uniform(9, n);
+                std::hint::black_box(legacy_run_random(&net, &faults, &mut src, patterns))
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     name = paper;
     config = Criterion::default().sample_size(20);
@@ -212,6 +292,7 @@ criterion_group!(
         bench_e8_a2_coverage,
         bench_e9_atpg,
         bench_e11_at_speed_matrix,
-        bench_e12_fault_simulation
+        bench_e12_fault_simulation,
+        bench_fsim_throughput
 );
 criterion_main!(paper);

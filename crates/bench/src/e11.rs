@@ -67,10 +67,12 @@ pub fn run() -> String {
         for &f in &PERIOD_FACTORS {
             let c = cells
                 .iter()
-                .find(|c| c.ratio == ratio && (c.period / f).is_finite() && {
-                    let params = RcParams::typical();
-                    let good = contention(f64::INFINITY, 10_000.0, 1.0, params);
-                    (c.period - f * good.settle_time).abs() < 1e-15
+                .find(|c| {
+                    c.ratio == ratio && (c.period / f).is_finite() && {
+                        let params = RcParams::typical();
+                        let good = contention(f64::INFINITY, 10_000.0, 1.0, params);
+                        (c.period - f * good.settle_time).abs() < 1e-15
+                    }
                 })
                 .expect("matrix cell");
             out.push_str(&format!("{:>6}", if c.detected { "D" } else { "." }));

@@ -16,14 +16,7 @@ use dynmos_switch::gates::domino_gate;
 use dynmos_switch::{Logic, Sim};
 
 /// The corpus of transmission functions exercised.
-pub const CORPUS: [&str; 6] = [
-    "a",
-    "a*b",
-    "a+b",
-    "a*(b+c)",
-    "a*(b+c)+d*e",
-    "a*(b+c*(d+e))",
-];
+pub const CORPUS: [&str; 6] = ["a", "a*b", "a+b", "a*(b+c)", "a*(b+c)+d*e", "a*(b+c*(d+e))"];
 
 /// Checks `z == T` exhaustively for one transmission function; returns
 /// the number of mismatching input words (0 expected).

@@ -18,19 +18,31 @@ use dynmos_netlist::{parse_cell, Cell};
 pub fn fixed_corpus() -> Vec<Cell> {
     vec![
         dynmos_netlist::generate::fig9_cell(),
-        parse_cell("and2", "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;")
-            .expect("valid"),
-        parse_cell("or3", "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z; z := a+b+c;")
-            .expect("valid"),
+        parse_cell(
+            "and2",
+            "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .expect("valid"),
+        parse_cell(
+            "or3",
+            "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z; z := a+b+c;",
+        )
+        .expect("valid"),
         parse_cell(
             "aoi_dom",
             "TECHNOLOGY domino-CMOS; INPUT a,b,c,d; OUTPUT z; z := a*b+c*d;",
         )
         .expect("valid"),
-        parse_cell("nand2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;")
-            .expect("valid"),
-        parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;")
-            .expect("valid"),
+        parse_cell(
+            "nand2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .expect("valid"),
+        parse_cell(
+            "nor2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .expect("valid"),
         parse_cell(
             "oai_dyn",
             "TECHNOLOGY dynamic-nMOS; INPUT a,b,c; OUTPUT z; z := a*b+c;",

@@ -34,7 +34,10 @@ pub const CONFIDENCE: f64 = 0.999;
 pub fn circuits() -> Vec<(String, Network)> {
     vec![
         ("wide-and-8".into(), single_cell_network(domino_wide_and(8))),
-        ("wide-and-12".into(), single_cell_network(domino_wide_and(12))),
+        (
+            "wide-and-12".into(),
+            single_cell_network(domino_wide_and(12)),
+        ),
         ("and-or-tree-3".into(), and_or_tree(3)),
         ("carry-chain-4".into(), carry_chain(4)),
         ("c17-dynamic".into(), c17_dynamic_nmos()),
@@ -57,9 +60,7 @@ pub fn summaries() -> Vec<Summary> {
             let estimator_error = net
                 .primary_outputs()
                 .iter()
-                .map(|&po| {
-                    (est[po.index()] - exact_signal_probability(&net, po, &uniform)).abs()
-                })
+                .map(|&po| (est[po.index()] - exact_signal_probability(&net, po, &uniform)).abs())
                 .fold(0.0f64, f64::max);
             Summary {
                 name,
@@ -123,7 +124,10 @@ mod tests {
     #[test]
     fn wide_gates_improve_by_orders_of_magnitude() {
         let rows = summaries();
-        let wide12 = rows.iter().find(|r| r.name == "wide-and-12").expect("exists");
+        let wide12 = rows
+            .iter()
+            .find(|r| r.name == "wide-and-12")
+            .expect("exists");
         assert!(
             wide12.uniform_length as f64 / wide12.optimized_length as f64 > 50.0,
             "{wide12:?}"
@@ -142,7 +146,10 @@ mod tests {
     #[test]
     fn estimator_error_bounded_under_reconvergence() {
         let rows = summaries();
-        let c17 = rows.iter().find(|r| r.name == "c17-dynamic").expect("exists");
+        let c17 = rows
+            .iter()
+            .find(|r| r.name == "c17-dynamic")
+            .expect("exists");
         assert!(c17.estimator_error < 0.25);
     }
 }

@@ -7,8 +7,10 @@
 //! both a 0 and a 1 — a few dozen patterns even for skewed nets, i.e.
 //! "some random patterns during a few milliseconds" at 1986 clock rates.
 
-use dynmos_netlist::generate::{and_or_tree, c17_dynamic_nmos, carry_chain, domino_wide_and, single_cell_network};
-use dynmos_netlist::Network;
+use dynmos_netlist::generate::{
+    and_or_tree, c17_dynamic_nmos, carry_chain, domino_wide_and, single_cell_network,
+};
+use dynmos_netlist::{Network, PackedEvaluator};
 use dynmos_protest::PatternSource;
 
 /// Patterns needed until every net has seen both values, or `None` within
@@ -16,12 +18,13 @@ use dynmos_protest::PatternSource;
 pub fn patterns_until_a2(net: &Network, seed: u64, budget: u64) -> Option<u64> {
     let n = net.primary_inputs().len();
     let mut src = PatternSource::uniform(seed, n);
+    let mut ev = PackedEvaluator::new(net);
     let mut seen0 = vec![false; net.net_count()];
     let mut seen1 = vec![false; net.net_count()];
     let mut applied = 0u64;
     while applied < budget {
         let batch = src.next_batch();
-        let values = net.eval_packed_all(&batch, None);
+        let values = ev.eval(&batch);
         for lane in 0..64u64 {
             for (i, w) in values.iter().enumerate() {
                 if (w >> lane) & 1 == 1 {
@@ -31,10 +34,7 @@ pub fn patterns_until_a2(net: &Network, seed: u64, budget: u64) -> Option<u64> {
                 }
             }
             applied += 1;
-            let done = seen0
-                .iter()
-                .zip(&seen1)
-                .all(|(a, b)| *a && *b);
+            let done = seen0.iter().zip(&seen1).all(|(a, b)| *a && *b);
             if done {
                 return Some(applied);
             }
@@ -97,12 +97,8 @@ mod tests {
     fn skewed_nets_dominate_the_count() {
         // wide-and-8 needs ~2^8 patterns, the tree only a handful.
         let tree = patterns_until_a2(&and_or_tree(3), 7, 1 << 16).expect("tree");
-        let wide = patterns_until_a2(
-            &single_cell_network(domino_wide_and(8)),
-            7,
-            1 << 16,
-        )
-        .expect("wide");
+        let wide =
+            patterns_until_a2(&single_cell_network(domino_wide_and(8)), 7, 1 << 16).expect("wide");
         assert!(wide > tree, "wide {wide} !> tree {tree}");
     }
 

@@ -51,8 +51,7 @@ pub fn summaries() -> Vec<Summary> {
             let doubled = apply_twice(&report.tests);
             let outcome = FaultSimulator::new(&net).run_patterns(&faults, &doubled);
             // Escapes must be exactly the proven-redundant faults.
-            let coverage = (outcome.detected_at.iter().filter(|d| d.is_some()).count()
-                as f64)
+            let coverage = (outcome.detected_at.iter().filter(|d| d.is_some()).count() as f64)
                 / (faults.len() - report.redundant.len()).max(1) as f64;
             Summary {
                 name,
@@ -97,12 +96,7 @@ mod tests {
     #[test]
     fn full_coverage_of_non_redundant_faults() {
         for s in summaries() {
-            assert!(
-                s.coverage >= 1.0,
-                "{}: coverage {:.3}",
-                s.name,
-                s.coverage
-            );
+            assert!(s.coverage >= 1.0, "{}: coverage {:.3}", s.name, s.coverage);
         }
     }
 

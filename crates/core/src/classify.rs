@@ -213,9 +213,7 @@ pub fn classify(cell: &Cell, fault: PhysicalFault) -> FaultEffect {
                 stuck_at: Some(StuckAt::Input { var, value }),
             }
         }
-        PhysicalFault::OutputStuck { value } => {
-            stuck_output(value, DetectionRequirement::Standard)
-        }
+        PhysicalFault::OutputStuck { value } => stuck_output(value, DetectionRequirement::Standard),
     }
 }
 
@@ -319,8 +317,11 @@ mod tests {
     #[test]
     fn dynamic_nmos_both_precharge_faults_collapse_to_s0z() {
         // The paper's "very interesting fact".
-        let cell =
-            parse_cell("g", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap();
+        let cell = parse_cell(
+            "g",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .unwrap();
         let open = classify(&cell, PhysicalFault::PrechargeOpen);
         let closed = classify(&cell, PhysicalFault::PrechargeClosed);
         assert_eq!(open.function, Bexpr::FALSE);
@@ -334,8 +335,11 @@ mod tests {
     #[test]
     fn dynamic_nmos_switch_faults_are_input_stucks() {
         // nMOS-i open -> s0-i; nMOS-(n+i) closed -> s1-i, inverted output.
-        let cell =
-            parse_cell("g", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let cell = parse_cell(
+            "g",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap();
         let sites = cell.literal_sites();
         let open = classify(
             &cell,
@@ -366,15 +370,10 @@ mod tests {
 
     #[test]
     fn repeated_literal_site_fault_is_not_a_named_stuck_at() {
-        let cell = Cell::from_transmission(
-            "g",
-            Technology::DominoCmos,
-            &["a", "b", "c"],
-            {
-                let mut vars = VarTable::new();
-                parse_expr("a*b+a*c", &mut vars).unwrap()
-            },
-        );
+        let cell = Cell::from_transmission("g", Technology::DominoCmos, &["a", "b", "c"], {
+            let mut vars = VarTable::new();
+            parse_expr("a*b+a*c", &mut vars).unwrap()
+        });
         let sites = cell.literal_sites();
         // Open only the first 'a' transistor.
         let effect = classify(
@@ -390,15 +389,10 @@ mod tests {
 
     #[test]
     fn input_line_open_zeroes_all_occurrences() {
-        let cell = Cell::from_transmission(
-            "g",
-            Technology::DominoCmos,
-            &["a", "b", "c"],
-            {
-                let mut vars = VarTable::new();
-                parse_expr("a*b+a*c", &mut vars).unwrap()
-            },
-        );
+        let cell = Cell::from_transmission("g", Technology::DominoCmos, &["a", "b", "c"], {
+            let mut vars = VarTable::new();
+            parse_expr("a*b+a*c", &mut vars).unwrap()
+        });
         let effect = classify(
             &cell,
             PhysicalFault::InputLineOpen {
@@ -438,8 +432,11 @@ mod tests {
 
     #[test]
     fn static_stuck_at_model() {
-        let cell =
-            parse_cell("g", "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap();
+        let cell = parse_cell(
+            "g",
+            "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .unwrap();
         // z = /(a*b) = NAND; a stuck-1 -> /b.
         let effect = classify(
             &cell,
@@ -454,8 +451,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "domino fault")]
     fn cmos2_on_dynamic_nmos_panics() {
-        let cell =
-            parse_cell("g", "TECHNOLOGY dynamic-nMOS; INPUT a; OUTPUT z; z := a;").unwrap();
+        let cell = parse_cell("g", "TECHNOLOGY dynamic-nMOS; INPUT a; OUTPUT z; z := a;").unwrap();
         classify(&cell, PhysicalFault::EvaluateOpen);
     }
 }

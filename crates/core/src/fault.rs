@@ -4,7 +4,6 @@ use dynmos_logic::{Bexpr, VarId, VarTable};
 use dynmos_netlist::{Cell, Technology};
 use std::fmt;
 
-
 /// One physical fault of the paper's model, addressed the way the paper
 /// addresses them.
 ///
@@ -331,21 +330,36 @@ mod tests {
     fn dynamic_nmos_numbering_matches_paper() {
         // nMOS-1..n opens, nMOS-n+1..2n closes, 2n+1 precharge open,
         // 2n+2 precharge closed.
-        let cell =
-            parse_cell("g", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap();
+        let cell = parse_cell(
+            "g",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .unwrap();
         let faults = enumerate_faults(&cell, FaultUniverse::paper_table());
         assert_eq!(faults.len(), 2 * 2 + 2);
-        assert!(matches!(faults[0], PhysicalFault::SwitchOpen { site: 0, .. }));
-        assert!(matches!(faults[1], PhysicalFault::SwitchOpen { site: 1, .. }));
-        assert!(matches!(faults[2], PhysicalFault::SwitchClosed { site: 0, .. }));
+        assert!(matches!(
+            faults[0],
+            PhysicalFault::SwitchOpen { site: 0, .. }
+        ));
+        assert!(matches!(
+            faults[1],
+            PhysicalFault::SwitchOpen { site: 1, .. }
+        ));
+        assert!(matches!(
+            faults[2],
+            PhysicalFault::SwitchClosed { site: 0, .. }
+        ));
         assert!(matches!(faults[4], PhysicalFault::PrechargeOpen));
         assert!(matches!(faults[5], PhysicalFault::PrechargeClosed));
     }
 
     #[test]
     fn static_technologies_get_stuck_at_universe() {
-        let cell =
-            parse_cell("g", "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let cell = parse_cell(
+            "g",
+            "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap();
         let faults = enumerate_faults(&cell, FaultUniverse::paper_table());
         // 2 inputs x 2 polarities + 2 output faults
         assert_eq!(faults.len(), 6);
@@ -353,7 +367,10 @@ mod tests {
             faults[0],
             PhysicalFault::InputStuck { value: false, .. }
         ));
-        assert!(matches!(faults[5], PhysicalFault::OutputStuck { value: true }));
+        assert!(matches!(
+            faults[5],
+            PhysicalFault::OutputStuck { value: true }
+        ));
     }
 
     #[test]

@@ -200,7 +200,10 @@ impl FaultLibrary {
     /// Panics if `id` is not a valid class number.
     pub fn test_patterns(&self, id: usize) -> Vec<u64> {
         let class = &self.classes[id - 1];
-        self.fault_free_table.xor(&class.table).ones_iter().collect()
+        self.fault_free_table
+            .xor(&class.table)
+            .ones_iter()
+            .collect()
     }
 
     /// Renders the library as the paper's section-5 table.
@@ -265,7 +268,10 @@ mod tests {
             .iter()
             .map(|c| {
                 (
-                    c.faults.iter().map(|f| f.display(&vt).to_string()).collect(),
+                    c.faults
+                        .iter()
+                        .map(|f| f.display(&vt).to_string())
+                        .collect(),
                     c.function_string(),
                 )
             })
@@ -346,8 +352,11 @@ mod tests {
 
     #[test]
     fn dynamic_nmos_library() {
-        let cell =
-            parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let cell = parse_cell(
+            "nor2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap();
         let lib = FaultLibrary::generate(&cell);
         // Faults: a open, b open, a closed, b closed, pre open, pre closed.
         // z = /(a+b). a open -> /b; b open -> /a; a closed -> 0;
@@ -365,8 +374,11 @@ mod tests {
 
     #[test]
     fn static_cmos_library_uses_stuck_at_universe() {
-        let cell =
-            parse_cell("nand2", "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap();
+        let cell = parse_cell(
+            "nand2",
+            "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .unwrap();
         let lib = FaultLibrary::generate(&cell);
         // z = /(a*b). Universe: s0-a, s1-a, s0-b, s1-b, s0-z, s1-z.
         // s0-a -> 1 ; s0-b -> 1 ; s1-z -> 1 : one class.
@@ -421,7 +433,10 @@ mod tests {
         let lib = FaultLibrary::generate(&fig9_cell());
         let table = lib.render_table();
         for c in 1..=10 {
-            assert!(table.contains(&format!("{c}  ")), "class {c} missing:\n{table}");
+            assert!(
+                table.contains(&format!("{c}  ")),
+                "class {c} missing:\n{table}"
+            );
         }
         assert!(table.contains("CMOS-1"));
         assert!(table.contains("timing only"));

@@ -279,11 +279,7 @@ mod tests {
         // behaviour into a sequential one."
         let v = validate_cell(&fig9_cell());
         for f in &v.faults {
-            assert!(
-                f.combinational,
-                "{:?} made the gate sequential",
-                f.fault
-            );
+            assert!(f.combinational, "{:?} made the gate sequential", f.fault);
         }
     }
 
@@ -318,8 +314,11 @@ mod tests {
 
     #[test]
     fn dynamic_nmos_nor_validates() {
-        let cell =
-            parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let cell = parse_cell(
+            "nor2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap();
         let v = validate_cell(&cell);
         assert!(v.all_combinational());
         assert!(v.all_match(), "{:#?}", v.faults);
@@ -350,8 +349,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dynamic technologies")]
     fn static_cell_validation_panics() {
-        let cell =
-            parse_cell("g", "TECHNOLOGY static-CMOS; INPUT a; OUTPUT z; z := a;").unwrap();
+        let cell = parse_cell("g", "TECHNOLOGY static-CMOS; INPUT a; OUTPUT z; z := a;").unwrap();
         validate_cell(&cell);
     }
 }

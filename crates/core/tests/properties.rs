@@ -1,8 +1,8 @@
 //! Property-based tests for the fault model and library generator.
 
 use dynmos_core::{
-    classify, enumerate_faults, substitute_site, validate_cell, DetectionRequirement,
-    FaultLibrary, FaultUniverse, PhysicalFault,
+    classify, enumerate_faults, substitute_site, validate_cell, DetectionRequirement, FaultLibrary,
+    FaultUniverse, PhysicalFault,
 };
 use dynmos_logic::{Bexpr, TruthTable, VarId};
 use dynmos_netlist::{Cell, Technology};

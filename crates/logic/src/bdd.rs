@@ -318,8 +318,8 @@ impl Bdd {
         let pv = *probs
             .get(n.var as usize)
             .unwrap_or_else(|| panic!("variable v{} has no probability", n.var));
-        let p = pv * self.prob_rec(n.hi, probs, memo)
-            + (1.0 - pv) * self.prob_rec(n.lo, probs, memo);
+        let p =
+            pv * self.prob_rec(n.hi, probs, memo) + (1.0 - pv) * self.prob_rec(n.lo, probs, memo);
         memo.insert(r, p);
         p
     }
@@ -344,11 +344,7 @@ impl Bdd {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn eval_expr_over(
-        &mut self,
-        expr: &Bexpr,
-        operand: &impl Fn(VarId) -> BddRef,
-    ) -> BddRef {
+    pub fn eval_expr_over(&mut self, expr: &Bexpr, operand: &impl Fn(VarId) -> BddRef) -> BddRef {
         match expr {
             Bexpr::Const(false) => BddRef::FALSE,
             Bexpr::Const(true) => BddRef::TRUE,

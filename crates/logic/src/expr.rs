@@ -199,9 +199,7 @@ impl Bexpr {
                 }
             }
             Bexpr::Not(e) => Bexpr::not(e.substitute_expr(var, repl)),
-            Bexpr::And(ts) => {
-                Bexpr::and(ts.iter().map(|t| t.substitute_expr(var, repl)).collect())
-            }
+            Bexpr::And(ts) => Bexpr::and(ts.iter().map(|t| t.substitute_expr(var, repl)).collect()),
             Bexpr::Or(ts) => Bexpr::or(ts.iter().map(|t| t.substitute_expr(var, repl)).collect()),
         }
     }
@@ -326,10 +324,7 @@ mod tests {
     fn constant_folding_in_and() {
         let (_, a, _, _) = abc();
         assert_eq!(Bexpr::and(vec![Bexpr::TRUE, Bexpr::var(a)]), Bexpr::var(a));
-        assert_eq!(
-            Bexpr::and(vec![Bexpr::FALSE, Bexpr::var(a)]),
-            Bexpr::FALSE
-        );
+        assert_eq!(Bexpr::and(vec![Bexpr::FALSE, Bexpr::var(a)]), Bexpr::FALSE);
         assert_eq!(Bexpr::and(vec![]), Bexpr::TRUE);
     }
 

@@ -36,10 +36,7 @@ const EXACT_COVER_LIMIT: usize = 200_000;
 /// ```
 pub fn prime_implicants(table: &TruthTable) -> Vec<Cube> {
     let nvars = table.nvars();
-    let mut current: HashSet<Cube> = table
-        .ones_iter()
-        .map(|r| Cube::minterm(r, nvars))
-        .collect();
+    let mut current: HashSet<Cube> = table.ones_iter().map(|r| Cube::minterm(r, nvars)).collect();
     let mut primes: Vec<Cube> = Vec::new();
 
     while !current.is_empty() {

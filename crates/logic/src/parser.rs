@@ -51,7 +51,10 @@ pub fn parse_expr(input: &str, vars: &mut VarTable) -> Result<Bexpr, ParseExprEr
     let e = p.expr()?;
     p.skip_ws();
     if p.pos < p.bytes.len() {
-        return Err(ParseExprError::new(p.pos, "trailing input after expression"));
+        return Err(ParseExprError::new(
+            p.pos,
+            "trailing input after expression",
+        ));
     }
     Ok(e)
 }
@@ -213,9 +216,9 @@ impl<'a, 'v> Parser<'a, 'v> {
             }
             _ => {
                 let start = self.pos;
-                let name = self
-                    .ident()
-                    .ok_or_else(|| ParseExprError::new(start, "expected identifier, '(', '/', '0' or '1'"))?;
+                let name = self.ident().ok_or_else(|| {
+                    ParseExprError::new(start, "expected identifier, '(', '/', '0' or '1'")
+                })?;
                 Ok(Bexpr::var(self.vars.intern(&name)))
             }
         }
@@ -311,10 +314,7 @@ mod tests {
         assert_eq!(vars.name(*u_id), "u");
         let x1 = vars.get("x1").unwrap();
         let x2 = vars.get("x2").unwrap();
-        assert_eq!(
-            *u_rhs,
-            Bexpr::or(vec![Bexpr::var(x1), Bexpr::var(x2)])
-        );
+        assert_eq!(*u_rhs, Bexpr::or(vec![Bexpr::var(x1), Bexpr::var(x2)]));
     }
 
     #[test]

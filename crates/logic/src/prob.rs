@@ -72,7 +72,10 @@ pub fn signal_probability_expr(expr: &Bexpr, probs: &[f64]) -> f64 {
     }
     let support = expr.support();
     if let Some(max) = support.last() {
-        assert!(max.index() < probs.len(), "variable {max} has no probability");
+        assert!(
+            max.index() < probs.len(),
+            "variable {max} has no probability"
+        );
     }
     let mut memo: HashMap<(usize, u64), f64> = HashMap::new();
     shannon(expr, &support, 0, 0, probs, &mut memo)

@@ -176,11 +176,7 @@ fn flatten(
             } else {
                 match defined.get(v.index()).and_then(Option::as_ref) {
                     Some(e) => e.clone(),
-                    None => {
-                        return Err(CompileCellError::UndefinedName(
-                            vars.name(*v).to_owned(),
-                        ))
-                    }
+                    None => return Err(CompileCellError::UndefinedName(vars.name(*v).to_owned())),
                 }
             }
         }
@@ -398,8 +394,7 @@ mod tests {
     #[test]
     fn duplicate_target_errors() {
         let mut d = fig9_description();
-        d.assignments
-            .insert(1, ("x1".into(), "d".into()));
+        d.assignments.insert(1, ("x1".into(), "d".into()));
         assert!(matches!(
             d.compile().unwrap_err(),
             CompileCellError::DuplicateTarget(_)

@@ -15,14 +15,20 @@ use rand::{Rng, SeedableRng};
 
 /// Builds the domino AND2 cell.
 pub fn domino_and2() -> Cell {
-    parse_cell("and2", "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;")
-        .expect("static cell text is valid")
+    parse_cell(
+        "and2",
+        "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;",
+    )
+    .expect("static cell text is valid")
 }
 
 /// Builds the domino OR2 cell.
 pub fn domino_or2() -> Cell {
-    parse_cell("or2", "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a+b;")
-        .expect("static cell text is valid")
+    parse_cell(
+        "or2",
+        "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a+b;",
+    )
+    .expect("static cell text is valid")
 }
 
 /// Builds the domino 3-input majority cell `maj = a*b + a*c + b*c` — the
@@ -46,20 +52,30 @@ pub fn domino_wide_and(n: usize) -> Cell {
     assert!((1..=16).contains(&n), "wide AND supports 1..=16 inputs");
     let names: Vec<String> = (0..n).map(|i| format!("i{i}")).collect();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let expr = Bexpr::and((0..n).map(|i| Bexpr::var(dynmos_logic::VarId(i as u32))).collect());
+    let expr = Bexpr::and(
+        (0..n)
+            .map(|i| Bexpr::var(dynmos_logic::VarId(i as u32)))
+            .collect(),
+    );
     Cell::from_transmission("wide_and", Technology::DominoCmos, &refs, expr)
 }
 
 /// Builds the dynamic nMOS NAND2 cell (`z = /(a*b)`).
 pub fn dynamic_nand2() -> Cell {
-    parse_cell("nand2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;")
-        .expect("static cell text is valid")
+    parse_cell(
+        "nand2",
+        "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;",
+    )
+    .expect("static cell text is valid")
 }
 
 /// Builds the dynamic nMOS NOR2 cell (`z = /(a+b)`).
 pub fn dynamic_nor2() -> Cell {
-    parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;")
-        .expect("static cell text is valid")
+    parse_cell(
+        "nor2",
+        "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+    )
+    .expect("static cell text is valid")
 }
 
 /// Builds the bipolar XOR2 cell (direct function, stuck-at fault model).
@@ -197,7 +213,12 @@ pub fn parity_tree(levels: usize) -> Network {
     while frontier.len() > 1 {
         let mut next = Vec::with_capacity(frontier.len() / 2);
         for (k, pair) in frontier.chunks(2).enumerate() {
-            let (_, out) = b.gate(xor_c, &[pair[0], pair[1]], &format!("p{level}_{k}"), Phase::Phi1);
+            let (_, out) = b.gate(
+                xor_c,
+                &[pair[0], pair[1]],
+                &format!("p{level}_{k}"),
+                Phase::Phi1,
+            );
             next.push(out);
         }
         frontier = next;
@@ -276,12 +297,7 @@ pub fn random_domino_network(seed: u64, n_pis: usize, n_gates: usize) -> Network
             let expr = random_sp_expr(&mut rng, arity, lits);
             let names: Vec<String> = (0..arity).map(|i| format!("i{i}")).collect();
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            Cell::from_transmission(
-                &format!("rc{g}"),
-                Technology::DominoCmos,
-                &refs,
-                expr,
-            )
+            Cell::from_transmission(&format!("rc{g}"), Technology::DominoCmos, &refs, expr)
         };
         let c = b.add_cell(cell);
         // Choose distinct input nets.
@@ -443,7 +459,10 @@ mod tests {
         assert_eq!(cell.switch_count(), 6);
         let net = single_cell_network(cell);
         assert_eq!(net.eval(&[true; 6]), vec![true]);
-        assert_eq!(net.eval(&[true, true, false, true, true, true]), vec![false]);
+        assert_eq!(
+            net.eval(&[true, true, false, true, true, true]),
+            vec![false]
+        );
     }
 
     #[test]

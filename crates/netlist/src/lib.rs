@@ -24,10 +24,15 @@
 //! * [`Network`] — combinational networks of cell instances with
 //!   single-clock (domino) or two-phase (dynamic nMOS) clocking
 //!   discipline checks and packed 64-lane evaluation,
+//! * [`compile`] — the compiled evaluation subsystem: per-network
+//!   instruction tapes, reusable [`PackedEvaluator`] buffers (up to
+//!   `width × 64` patterns per pass) and fault-cone incremental faulty
+//!   simulation,
 //! * [`generate`] — a seeded circuit corpus (adders, trees, comparators,
 //!   random cells) standing in for the unspecified 1986 benchmark set.
 
 pub mod cell;
+pub mod compile;
 pub mod generate;
 pub mod network;
 pub mod parse;
@@ -35,9 +40,8 @@ pub mod tech;
 pub mod to_switch;
 
 pub use cell::{Cell, CellDescription, CompileCellError};
-pub use network::{
-    GateRef, NetId, Network, NetworkBuilder, NetworkError, NetworkFault, Phase,
-};
+pub use compile::{CompiledNetwork, PackedEvaluator, PreparedFault};
+pub use network::{GateRef, NetId, Network, NetworkBuilder, NetworkError, NetworkFault, Phase};
 pub use parse::{parse_cell, ParseCellError};
 pub use tech::Technology;
 pub use to_switch::{domino_to_switch, SwitchRealization, ToSwitchError};

@@ -6,6 +6,7 @@
 //! [`Network::check_clocking`] enforces exactly these disciplines.
 
 use crate::cell::Cell;
+use crate::compile::{CompiledNetwork, PackedEvaluator, PreparedFault};
 use crate::tech::Technology;
 use dynmos_logic::{Bexpr, VarId};
 use std::collections::HashMap;
@@ -188,6 +189,9 @@ pub struct Network {
     driver: Vec<Option<GateRef>>,
     /// Logic level per gate (PIs are level 0).
     levels: Vec<usize>,
+    /// The compiled instruction tape and fault-cone data (built once at
+    /// [`NetworkBuilder::finish`] time; see [`crate::compile`]).
+    compiled: CompiledNetwork,
 }
 
 impl Network {
@@ -295,10 +299,51 @@ impl Network {
     /// [`NetId`]). PROTEST's estimators and the A1/A2 coverage experiment
     /// need internal nets, not just outputs.
     ///
+    /// This is a compatibility shim over the compiled evaluator: one
+    /// [`PackedEvaluator`] is built per call. Hot callers that evaluate
+    /// many batches should hold a [`PackedEvaluator`] (and, per fault, a
+    /// [`PreparedFault`]) instead and skip the per-call allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `pi_words.len() != primary_inputs().len()`.
     pub fn eval_packed_all(&self, pi_words: &[u64], fault: Option<&NetworkFault>) -> Vec<u64> {
+        let mut ev = PackedEvaluator::new(self);
+        ev.eval(pi_words);
+        match fault {
+            None => ev.net_values().to_vec(),
+            Some(f) => {
+                let prepared = self.prepare_fault(f);
+                ev.eval_faulty_all(&prepared).to_vec()
+            }
+        }
+    }
+
+    /// The compiled tape and fault-cone data of this network.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// Binds `fault` to its precomputed fanout cone (and compiles the
+    /// faulty function, for gate-function faults) for incremental faulty
+    /// evaluation with [`PackedEvaluator::fault_diff64`].
+    pub fn prepare_fault(&self, fault: &NetworkFault) -> PreparedFault<'_> {
+        self.compiled.prepare(self, fault)
+    }
+
+    /// The original interpretive evaluator, kept as the differential-test
+    /// oracle for the compiled path (and as the baseline in the
+    /// `fsim_patterns_per_sec` bench). Walks the [`Bexpr`] of every gate
+    /// per batch; allocates per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != primary_inputs().len()`.
+    pub fn eval_packed_all_reference(
+        &self,
+        pi_words: &[u64],
+        fault: Option<&NetworkFault>,
+    ) -> Vec<u64> {
         assert_eq!(
             pi_words.len(),
             self.primary_inputs.len(),
@@ -563,6 +608,15 @@ impl NetworkBuilder {
         // by level then index for deterministic evaluation order.
         topo.sort_by_key(|g| (levels[g.index()], g.index()));
 
+        let compiled = CompiledNetwork::build(
+            &self.cells,
+            &self.gates,
+            self.net_names.len(),
+            &topo,
+            &self.primary_inputs,
+            &self.primary_outputs,
+        );
+
         Ok(Network {
             cells: self.cells,
             gates: self.gates,
@@ -572,6 +626,7 @@ impl NetworkBuilder {
             topo,
             driver: self.driver,
             levels,
+            compiled,
         })
     }
 }
@@ -582,15 +637,27 @@ mod tests {
     use crate::parse::parse_cell;
 
     fn and2() -> Cell {
-        parse_cell("and2", "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;").unwrap()
+        parse_cell(
+            "and2",
+            "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a*b;",
+        )
+        .unwrap()
     }
 
     fn or2() -> Cell {
-        parse_cell("or2", "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap()
+        parse_cell(
+            "or2",
+            "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap()
     }
 
     fn dyn_nor2() -> Cell {
-        parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap()
+        parse_cell(
+            "nor2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap()
     }
 
     /// (x&y)|w network used across tests.
@@ -738,7 +805,11 @@ mod tests {
         b.gate(c, &[x], "z", Phase::Phi1);
         assert!(matches!(
             b.finish().unwrap_err(),
-            NetworkError::ArityMismatch { expected: 2, got: 1, .. }
+            NetworkError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 

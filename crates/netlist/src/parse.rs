@@ -185,8 +185,11 @@ u := x1+x2;
 
     #[test]
     fn single_line_description() {
-        let cell =
-            parse_cell("nor2", "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;").unwrap();
+        let cell = parse_cell(
+            "nor2",
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a+b;",
+        )
+        .unwrap();
         // dynamic nMOS: z = /(a+b) — a NOR.
         let f = cell.logic_function();
         assert!(f.eval_word(0b00));
@@ -202,8 +205,11 @@ u := x1+x2;
 
     #[test]
     fn keywords_case_insensitive() {
-        let cell =
-            parse_cell("c", "technology domino-CMOS; input a,b; output z; z := a*b;").unwrap();
+        let cell = parse_cell(
+            "c",
+            "technology domino-CMOS; input a,b; output z; z := a*b;",
+        )
+        .unwrap();
         assert_eq!(cell.input_count(), 2);
     }
 

@@ -14,7 +14,7 @@
 //! schedule; the single-gate builder in `dynmos-switch` covers the
 //! per-cell analysis the paper performs.
 
-use crate::network::{Network, NetId};
+use crate::network::{NetId, Network};
 use crate::tech::Technology;
 use dynmos_switch::sn::build_sn;
 use dynmos_switch::{Circuit, CircuitBuilder, FetKind, Logic, NodeId, Sim, TransistorId};
@@ -161,14 +161,9 @@ pub fn domino_to_switch(net: &Network) -> Result<SwitchRealization, ToSwitchErro
         let foot = b.fresh_node(&format!("g{gi}.foot"));
         let t1 = b.fet(FetKind::P, clock, vdd, y, &format!("g{gi}.T1"));
         let inputs = inst.inputs.clone();
-        let sn = build_sn(
-            &mut b,
-            cell.transmission(),
-            y,
-            foot,
-            FetKind::N,
-            &|v| inputs.get(v.index()).map(|n| net_nodes[n.index()]),
-        )
+        let sn = build_sn(&mut b, cell.transmission(), y, foot, FetKind::N, &|v| {
+            inputs.get(v.index()).map(|n| net_nodes[n.index()])
+        })
         .map_err(|e| ToSwitchError::BadTransmission(e.to_string()))?;
         let t2 = b.fet(FetKind::N, clock, foot, vss, &format!("g{gi}.T2"));
         let z = net_nodes[inst.output.index()];
@@ -208,7 +203,9 @@ pub fn domino_to_switch(net: &Network) -> Result<SwitchRealization, ToSwitchErro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generate::{and_or_tree, carry_chain, fig9_cell, random_domino_network, single_cell_network};
+    use crate::generate::{
+        and_or_tree, carry_chain, fig9_cell, random_domino_network, single_cell_network,
+    };
     use dynmos_switch::{FaultSet, SwitchFault};
 
     fn exhaustive_match(net: &Network) {

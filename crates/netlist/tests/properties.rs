@@ -1,12 +1,88 @@
 //! Property-based tests for the netlist substrate.
 
+use dynmos_logic::{Bexpr, VarId};
 use dynmos_netlist::generate::{random_domino_cell, random_domino_network, random_sp_expr};
 use dynmos_netlist::to_switch::domino_to_switch;
-use dynmos_netlist::{Cell, Technology};
+use dynmos_netlist::{Cell, GateRef, Network, NetworkFault, PackedEvaluator, Technology};
 use dynmos_switch::Sim;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Every fault class of `net` the simulator supports: PI-stuck,
+/// net-stuck (gate outputs) and gate-function faults (constants, a
+/// passthrough, and an input-stuck variant of the cell's own function).
+fn every_fault(net: &Network) -> Vec<NetworkFault> {
+    let mut faults = Vec::new();
+    for &pi in net.primary_inputs() {
+        faults.push(NetworkFault::NetStuck(pi, false));
+        faults.push(NetworkFault::NetStuck(pi, true));
+    }
+    for (gi, inst) in net.gates().iter().enumerate() {
+        let g = GateRef(gi as u32);
+        faults.push(NetworkFault::NetStuck(inst.output, false));
+        faults.push(NetworkFault::NetStuck(inst.output, true));
+        faults.push(NetworkFault::GateFunction(g, Bexpr::FALSE));
+        faults.push(NetworkFault::GateFunction(g, Bexpr::TRUE));
+        faults.push(NetworkFault::GateFunction(g, Bexpr::var(VarId(0))));
+        // The paper's s1-i0 class: input 0 of the cell stuck at 1.
+        let f = net.cell_of(g).logic_function().substitute(VarId(0), true);
+        faults.push(NetworkFault::GateFunction(g, f));
+    }
+    faults
+}
+
+fn lanes_for(lane_seed: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            lane_seed
+                .rotate_left(11 * i as u32)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+        })
+        .collect()
+}
+
+/// Acceptance gate for the compiled evaluator: across well over 100
+/// random domino networks, the compiled path is bit-exact with the
+/// legacy interpreter for the good machine and for every fault class,
+/// both through the all-nets shim and the cone-incremental diff.
+#[test]
+fn differential_compiled_vs_interpreter_over_100_networks() {
+    for seed in 0..120u64 {
+        let net = random_domino_network(seed, 4, 6);
+        let n = net.primary_inputs().len();
+        let lanes = lanes_for(seed.wrapping_mul(0xD1B5_4A32_D192_ED03), n);
+        let good_ref = net.eval_packed_all_reference(&lanes, None);
+        let mut ev = PackedEvaluator::new(&net);
+        assert_eq!(ev.eval(&lanes), &good_ref[..], "good machine, seed {seed}");
+        let good_po: Vec<u64> = net
+            .primary_outputs()
+            .iter()
+            .map(|po| good_ref[po.index()])
+            .collect();
+        for fault in every_fault(&net) {
+            let bad_ref = net.eval_packed_all_reference(&lanes, Some(&fault));
+            let prepared = net.prepare_fault(&fault);
+            // Full faulty machine via the shim path.
+            assert_eq!(
+                net.eval_packed_all(&lanes, Some(&fault)),
+                bad_ref,
+                "all nets, seed {seed}, {fault:?}"
+            );
+            // Cone-incremental diff vs full PO comparison.
+            let expect = net
+                .primary_outputs()
+                .iter()
+                .zip(&good_po)
+                .fold(0u64, |acc, (po, g)| acc | (g ^ bad_ref[po.index()]));
+            assert_eq!(
+                ev.fault_diff64(&prepared),
+                expect,
+                "diff, seed {seed}, {fault:?}"
+            );
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
@@ -99,6 +175,42 @@ proptest! {
         for v in e.support() {
             prop_assert!(v.index() < nvars);
         }
+    }
+
+    /// The compiled evaluator agrees with the legacy interpreter on the
+    /// good machine for arbitrary input lanes.
+    #[test]
+    fn compiled_good_machine_matches_interpreter(seed in 0u64..1000, lane_seed in any::<u64>()) {
+        let net = random_domino_network(seed, 4, 6);
+        let lanes = lanes_for(lane_seed, net.primary_inputs().len());
+        let reference = net.eval_packed_all_reference(&lanes, None);
+        let mut ev = PackedEvaluator::new(&net);
+        prop_assert_eq!(ev.eval(&lanes), &reference[..]);
+    }
+
+    /// Cone-incremental faulty evaluation agrees with full faulty
+    /// re-simulation for a randomly chosen fault of any class.
+    #[test]
+    fn cone_incremental_matches_full_faulty(
+        seed in 0u64..1000,
+        lane_seed in any::<u64>(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let net = random_domino_network(seed, 4, 6);
+        let lanes = lanes_for(lane_seed, net.primary_inputs().len());
+        let faults = every_fault(&net);
+        let fault = &faults[pick.index(faults.len())];
+        let bad = net.eval_packed_all_reference(&lanes, Some(fault));
+        let good = net.eval_packed_all_reference(&lanes, None);
+        let expect = net
+            .primary_outputs()
+            .iter()
+            .fold(0u64, |acc, po| acc | (good[po.index()] ^ bad[po.index()]));
+        let mut ev = PackedEvaluator::new(&net);
+        ev.eval(&lanes);
+        let prepared = net.prepare_fault(fault);
+        prop_assert_eq!(ev.fault_diff64(&prepared), expect, "{:?}", fault);
+        prop_assert_eq!(ev.eval_faulty_all(&prepared), &bad[..], "{:?}", fault);
     }
 
     /// Cell compilation is stable: compiling the same description twice

@@ -3,9 +3,17 @@
 //! PROTEST's second stage: "for each fault the probability is estimated,
 //! that it is detected by a random pattern." A pattern detects a fault iff
 //! some primary output differs between the fault-free and faulty machines.
+//!
+//! The enumeration core is [`ExactDetector`]: it walks the weighted input
+//! space **once per probability vector**, evaluating the good machine on
+//! the compiled tape and replaying each fault's fanout cone
+//! incrementally, so whole-list detection probabilities cost one
+//! enumeration instead of one per fault. The optimizer's coordinate
+//! sweeps reuse one detector (and its prepared faults) across hundreds of
+//! objective evaluations.
 
 use crate::list::FaultEntry;
-use dynmos_netlist::Network;
+use dynmos_netlist::{Network, NetworkFault, PackedEvaluator, PreparedFault};
 
 /// Exact detection probability of one fault by weighted exhaustive
 /// enumeration (inputs independent with probabilities `pi_probs`).
@@ -37,79 +45,144 @@ pub fn exact_detection_probability(
     fault: &dynmos_netlist::NetworkFault,
     pi_probs: &[f64],
 ) -> f64 {
-    let n = net.primary_inputs().len();
-    assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
-    assert_eq!(pi_probs.len(), n, "need one probability per primary input");
-    let rows = 1u64 << n;
-    let mut total = 0.0;
-    let mut row = 0u64;
-    while row < rows {
-        let lanes = (rows - row).min(64);
-        let mut pi_words = vec![0u64; n];
-        for lane in 0..lanes {
-            let assignment = row + lane;
-            for (i, w) in pi_words.iter_mut().enumerate() {
-                if (assignment >> i) & 1 == 1 {
-                    *w |= 1 << lane;
-                }
-            }
-        }
-        let good = net.eval_packed(&pi_words);
-        let bad = net.eval_packed_faulty(&pi_words, Some(fault));
-        let mut differ = 0u64;
-        for (g, b) in good.iter().zip(&bad) {
-            differ |= g ^ b;
-        }
-        for lane in 0..lanes {
-            if (differ >> lane) & 1 == 1 {
-                let assignment = row + lane;
-                let mut weight = 1.0;
-                for (i, &p) in pi_probs.iter().enumerate() {
-                    weight *= if (assignment >> i) & 1 == 1 { p } else { 1.0 - p };
-                }
-                total += weight;
-            }
-        }
-        row += lanes;
-    }
-    // Summing 2^n weights accumulates ulp-scale error; clamp to [0,1] so
-    // downstream validation (test_length) never sees 1.0 + epsilon.
-    total.clamp(0.0, 1.0)
+    ExactDetector::for_faults(net, std::slice::from_ref(fault)).probabilities(pi_probs)[0]
 }
 
 /// Exact detection probabilities for a whole fault list (one value per
-/// entry, in order).
+/// entry, in order). One weighted enumeration of the input space serves
+/// every fault.
 ///
 /// # Panics
 ///
 /// Same conditions as [`exact_detection_probability`].
-pub fn detection_probabilities(
-    net: &Network,
-    faults: &[FaultEntry],
-    pi_probs: &[f64],
-) -> Vec<f64> {
-    faults
-        .iter()
-        .map(|e| exact_detection_probability(net, &e.fault, pi_probs))
-        .collect()
+pub fn detection_probabilities(net: &Network, faults: &[FaultEntry], pi_probs: &[f64]) -> Vec<f64> {
+    ExactDetector::new(net, faults).probabilities(pi_probs)
+}
+
+/// A reusable exact-enumeration engine: the network's compiled evaluator
+/// plus one [`PreparedFault`] per fault, shared across any number of
+/// probability vectors.
+///
+/// # Example
+///
+/// ```
+/// use dynmos_netlist::generate::{domino_wide_and, single_cell_network};
+/// use dynmos_protest::{network_fault_list, ExactDetector};
+///
+/// let net = single_cell_network(domino_wide_and(4));
+/// let faults = network_fault_list(&net);
+/// let mut det = ExactDetector::new(&net, &faults);
+/// let uniform = det.probabilities(&[0.5; 4]);
+/// let weighted = det.probabilities(&[0.9; 4]); // same detector, new vector
+/// assert_eq!(uniform.len(), weighted.len());
+/// ```
+#[derive(Debug)]
+pub struct ExactDetector<'n> {
+    net: &'n Network,
+    ev: PackedEvaluator<'n>,
+    prepared: Vec<PreparedFault<'n>>,
+    /// Scratch: packed PI words for the current batch.
+    pi_words: Vec<u64>,
+    /// Scratch: per-lane assignment weight.
+    weights: [f64; 64],
+}
+
+impl<'n> ExactDetector<'n> {
+    /// A detector for a fault list.
+    pub fn new(net: &'n Network, faults: &[FaultEntry]) -> Self {
+        Self::for_faults_iter(net, faults.iter().map(|e| &e.fault))
+    }
+
+    /// A detector for bare faults (no list metadata).
+    pub fn for_faults(net: &'n Network, faults: &[NetworkFault]) -> Self {
+        Self::for_faults_iter(net, faults.iter())
+    }
+
+    fn for_faults_iter<'f>(
+        net: &'n Network,
+        faults: impl Iterator<Item = &'f NetworkFault>,
+    ) -> Self {
+        Self {
+            net,
+            ev: PackedEvaluator::new(net),
+            prepared: faults.map(|f| net.prepare_fault(f)).collect(),
+            pi_words: vec![0; net.primary_inputs().len()],
+            weights: [0.0; 64],
+        }
+    }
+
+    /// Exact detection probability of every fault under independent
+    /// per-input probabilities `pi_probs`, by one weighted exhaustive
+    /// enumeration of the input space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 24 primary inputs or the arity
+    /// of `pi_probs` is wrong.
+    pub fn probabilities(&mut self, pi_probs: &[f64]) -> Vec<f64> {
+        let n = self.net.primary_inputs().len();
+        assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
+        assert_eq!(pi_probs.len(), n, "need one probability per primary input");
+        let rows = 1u64 << n;
+        let mut totals = vec![0.0f64; self.prepared.len()];
+        let mut row = 0u64;
+        while row < rows {
+            let lanes = (rows - row).min(64);
+            self.pi_words.fill(0);
+            for lane in 0..lanes {
+                let assignment = row + lane;
+                for (i, w) in self.pi_words.iter_mut().enumerate() {
+                    if (assignment >> i) & 1 == 1 {
+                        *w |= 1 << lane;
+                    }
+                }
+                let mut weight = 1.0;
+                for (i, &p) in pi_probs.iter().enumerate() {
+                    weight *= if (assignment >> i) & 1 == 1 {
+                        p
+                    } else {
+                        1.0 - p
+                    };
+                }
+                self.weights[lane as usize] = weight;
+            }
+            self.ev.eval(&self.pi_words);
+            for (fi, prepared) in self.prepared.iter().enumerate() {
+                let mut differ = self.ev.fault_diff64(prepared);
+                if lanes < 64 {
+                    differ &= (1u64 << lanes) - 1;
+                }
+                while differ != 0 {
+                    let lane = differ.trailing_zeros() as usize;
+                    totals[fi] += self.weights[lane];
+                    differ &= differ - 1;
+                }
+            }
+            row += lanes;
+        }
+        // Summing 2^n weights accumulates ulp-scale error; clamp to [0,1]
+        // so downstream validation (test_length) never sees 1.0 + epsilon.
+        for t in &mut totals {
+            *t = t.clamp(0.0, 1.0);
+        }
+        totals
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::list::network_fault_list;
-    use dynmos_netlist::generate::{
-        and_or_tree, domino_wide_and, fig9_cell, single_cell_network,
-    };
     use dynmos_logic::Bexpr;
+    use dynmos_netlist::generate::{and_or_tree, domino_wide_and, fig9_cell, single_cell_network};
     use dynmos_netlist::{NetId, NetworkFault};
 
     /// Index of the constant-0 gate-function class (the s0-z fault).
     fn s0z_index(list: &[crate::list::FaultEntry]) -> usize {
         list.iter()
-            .position(|e| {
-                matches!(&e.fault, NetworkFault::GateFunction(_, f) if *f == Bexpr::FALSE)
-            })
+            .position(
+                |e| matches!(&e.fault, NetworkFault::GateFunction(_, f) if *f == Bexpr::FALSE),
+            )
             .expect("s0-z class exists")
     }
 

@@ -15,7 +15,7 @@
 //!   block-sized circuits of the paper).
 
 use dynmos_logic::signal_probability_expr;
-use dynmos_netlist::{NetId, Network};
+use dynmos_netlist::{NetId, Network, PackedEvaluator};
 
 /// One forward-pass topological estimate of every net's signal
 /// probability (indexed by [`NetId`]).
@@ -79,12 +79,14 @@ pub fn exact_signal_probability(net: &Network, target: NetId, pi_probs: &[f64]) 
         assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
     }
     let mut total = 0.0;
-    // Evaluate 64 assignments per packed call.
+    // Evaluate 64 assignments per packed pass on one reusable evaluator.
+    let mut ev = PackedEvaluator::new(net);
+    let mut pi_words = vec![0u64; n];
     let rows = 1u64 << n;
     let mut row = 0u64;
     while row < rows {
         let lanes = (rows - row).min(64);
-        let mut pi_words = vec![0u64; n];
+        pi_words.fill(0);
         for lane in 0..lanes {
             let assignment = row + lane;
             for (i, w) in pi_words.iter_mut().enumerate() {
@@ -93,14 +95,18 @@ pub fn exact_signal_probability(net: &Network, target: NetId, pi_probs: &[f64]) 
                 }
             }
         }
-        let values = net.eval_packed_all(&pi_words, None);
+        let values = ev.eval(&pi_words);
         let word = values[target.index()];
         for lane in 0..lanes {
             if (word >> lane) & 1 == 1 {
                 let assignment = row + lane;
                 let mut weight = 1.0;
                 for (i, &p) in pi_probs.iter().enumerate() {
-                    weight *= if (assignment >> i) & 1 == 1 { p } else { 1.0 - p };
+                    weight *= if (assignment >> i) & 1 == 1 {
+                        p
+                    } else {
+                        1.0 - p
+                    };
                 }
                 total += weight;
             }

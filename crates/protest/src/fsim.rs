@@ -8,12 +8,15 @@
 //! where "the fault injection algorithms … don't work any more").
 //!
 //! The simulator is serial-fault, parallel-pattern: each 64-pattern batch
-//! is evaluated once for the fault-free machine and once per live fault,
-//! with fault dropping.
+//! is evaluated once for the fault-free machine on the network's compiled
+//! instruction tape, and each live fault is then replayed *incrementally*
+//! — only its fanout cone's tape slice, comparing only the primary
+//! outputs the cone reaches ([`dynmos_netlist::PackedEvaluator`]). Fault
+//! dropping removes detected faults from the live list.
 
 use crate::list::FaultEntry;
 use crate::random::PatternSource;
-use dynmos_netlist::Network;
+use dynmos_netlist::{Network, PackedEvaluator};
 
 /// Result of a fault-simulation run.
 #[derive(Debug, Clone)]
@@ -58,8 +61,9 @@ impl<'n> FaultSimulator<'n> {
     }
 
     /// Runs random patterns from `source` until all faults are detected or
-    /// `max_patterns` have been applied (rounded up to whole 64-pattern
-    /// batches).
+    /// `max_patterns` have been applied. The final batch is lane-masked,
+    /// so `patterns_applied` and detection indices never exceed
+    /// `max_patterns` even when it is not a multiple of 64.
     ///
     /// # Panics
     ///
@@ -75,34 +79,38 @@ impl<'n> FaultSimulator<'n> {
             self.net.primary_inputs().len(),
             "pattern source arity mismatch"
         );
+        let mut ev = PackedEvaluator::new(self.net);
+        let prepared: Vec<_> = faults
+            .iter()
+            .map(|e| self.net.prepare_fault(&e.fault))
+            .collect();
         let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
         let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut detected = 0usize;
         let mut applied = 0u64;
         let mut curve = Vec::new();
         while !live.is_empty() && applied < max_patterns {
             let batch = source.next_batch();
-            let good = self.net.eval_packed(&batch);
+            ev.eval(&batch);
+            let lanes = (max_patterns - applied).min(64);
+            let lanes_mask = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
             live.retain(|&fi| {
-                let bad = self
-                    .net
-                    .eval_packed_faulty(&batch, Some(&faults[fi].fault));
-                let mut differ = 0u64;
-                for (g, b) in good.iter().zip(&bad) {
-                    differ |= g ^ b;
-                }
+                let differ = ev.fault_diff64(&prepared[fi]) & lanes_mask;
                 if differ != 0 {
                     let first_lane = differ.trailing_zeros() as u64;
                     detected_at[fi] = Some(applied + first_lane + 1);
+                    detected += 1;
                     false // drop
                 } else {
                     true
                 }
             });
-            applied += 64;
-            curve.push((
-                applied,
-                detected_at.iter().filter(|d| d.is_some()).count(),
-            ));
+            applied += lanes;
+            curve.push((applied, detected));
         }
         FsimOutcome {
             detected_at,
@@ -115,12 +123,19 @@ impl<'n> FaultSimulator<'n> {
     /// assignment); useful for validating ATPG test sets.
     pub fn run_patterns(&self, faults: &[FaultEntry], patterns: &[Vec<bool>]) -> FsimOutcome {
         let n = self.net.primary_inputs().len();
+        let mut ev = PackedEvaluator::new(self.net);
+        let prepared: Vec<_> = faults
+            .iter()
+            .map(|e| self.net.prepare_fault(&e.fault))
+            .collect();
         let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
         let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut detected = 0usize;
         let mut applied = 0u64;
         let mut curve = Vec::new();
+        let mut batch = vec![0u64; n];
         for chunk in patterns.chunks(64) {
-            let mut batch = vec![0u64; n];
+            batch.fill(0);
             for (lane, pat) in chunk.iter().enumerate() {
                 assert_eq!(pat.len(), n, "pattern arity mismatch");
                 for (i, &b) in pat.iter().enumerate() {
@@ -134,28 +149,20 @@ impl<'n> FaultSimulator<'n> {
             } else {
                 (1u64 << chunk.len()) - 1
             };
-            let good = self.net.eval_packed(&batch);
+            ev.eval(&batch);
             live.retain(|&fi| {
-                let bad = self
-                    .net
-                    .eval_packed_faulty(&batch, Some(&faults[fi].fault));
-                let mut differ = 0u64;
-                for (g, b) in good.iter().zip(&bad) {
-                    differ |= (g ^ b) & lanes_mask;
-                }
+                let differ = ev.fault_diff64(&prepared[fi]) & lanes_mask;
                 if differ != 0 {
                     let first_lane = differ.trailing_zeros() as u64;
                     detected_at[fi] = Some(applied + first_lane + 1);
+                    detected += 1;
                     false
                 } else {
                     true
                 }
             });
             applied += chunk.len() as u64;
-            curve.push((
-                applied,
-                detected_at.iter().filter(|d| d.is_some()).count(),
-            ));
+            curve.push((applied, detected));
         }
         FsimOutcome {
             detected_at,
@@ -228,14 +235,8 @@ mod tests {
         let mut uni = PatternSource::uniform(19, n);
         let mut opt = PatternSource::new(19, vec![0.9375; n]);
         let sim = FaultSimulator::new(&net);
-        let t_uni = sim
-            .run_random(&faults, &mut uni, 500_000)
-            .detected_at[hard]
-            .unwrap();
-        let t_opt = sim
-            .run_random(&faults, &mut opt, 500_000)
-            .detected_at[hard]
-            .unwrap();
+        let t_uni = sim.run_random(&faults, &mut uni, 500_000).detected_at[hard].unwrap();
+        let t_opt = sim.run_random(&faults, &mut opt, 500_000).detected_at[hard].unwrap();
         assert!(
             t_uni > 10 * t_opt,
             "weighted {t_opt} should be >10x faster than uniform {t_uni}"
@@ -260,10 +261,35 @@ mod tests {
         let net = single_cell_network(domino_wide_and(8));
         let faults = network_fault_list(&net);
         // All-zeros only: detects s1-z-ish faults, misses s0-z.
-        let out =
-            FaultSimulator::new(&net).run_patterns(&faults, &[vec![false; 8]]);
+        let out = FaultSimulator::new(&net).run_patterns(&faults, &[vec![false; 8]]);
         assert!(out.coverage() < 1.0);
         assert!(!out.escapes().is_empty());
+    }
+
+    #[test]
+    fn run_random_respects_non_multiple_of_64_budget() {
+        let net = single_cell_network(domino_wide_and(10));
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(19, 10);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 100);
+        assert!(out.patterns_applied <= 100, "{}", out.patterns_applied);
+        for d in out.detected_at.iter().flatten() {
+            assert!(*d <= 100, "detection index {d} exceeds budget");
+        }
+        assert!(out.coverage_curve.iter().all(|&(p, _)| p <= 100));
+    }
+
+    #[test]
+    fn coverage_curve_counts_match_detected_at() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(7, 5);
+        let out = FaultSimulator::new(&net).run_random(&faults, &mut src, 512);
+        let (_, final_count) = *out.coverage_curve.last().unwrap();
+        assert_eq!(
+            final_count,
+            out.detected_at.iter().filter(|d| d.is_some()).count()
+        );
     }
 
     #[test]

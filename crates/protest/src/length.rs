@@ -127,7 +127,11 @@ mod tests {
     fn single_fault_joint_equals_per_fault() {
         for p in [0.5, 0.1, 0.01] {
             for c in [0.9, 0.99, 0.999] {
-                assert_eq!(test_length(&[p], c), test_length_per_fault(p, c), "p={p} c={c}");
+                assert_eq!(
+                    test_length(&[p], c),
+                    test_length_per_fault(p, c),
+                    "p={p} c={c}"
+                );
             }
         }
     }

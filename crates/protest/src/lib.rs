@@ -42,12 +42,17 @@ pub mod optimize;
 pub mod random;
 pub mod symbolic;
 
-pub use detect::{detection_probabilities, exact_detection_probability};
+pub use detect::{detection_probabilities, exact_detection_probability, ExactDetector};
 pub use estimate::{exact_signal_probability, signal_probabilities};
 pub use fsim::{FaultSimulator, FsimOutcome};
 pub use length::{escape_probability, test_length, test_length_per_fault};
 pub use list::{network_fault_list, FaultEntry};
-pub use montecarlo::{mc_detection_probabilities, mc_detection_probability, mc_signal_probability, Estimate};
+pub use montecarlo::{
+    mc_detection_probabilities, mc_detection_probability, mc_signal_probability, Estimate,
+};
 pub use optimize::{optimize_input_probabilities, OptimizeReport};
 pub use random::PatternSource;
-pub use symbolic::{bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability, bdd_test_pattern};
+pub use symbolic::{
+    bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,
+    bdd_test_pattern,
+};

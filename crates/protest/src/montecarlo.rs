@@ -10,7 +10,10 @@
 
 use crate::list::FaultEntry;
 use crate::random::PatternSource;
-use dynmos_netlist::{NetId, Network};
+use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
+
+/// Lane words per evaluator pass: 4 × 64 = 256 patterns per tape walk.
+const WIDTH: usize = 4;
 
 /// A Monte Carlo estimate: frequency plus a 95% confidence half-width.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,19 +69,25 @@ pub fn mc_signal_probability(
 ) -> Estimate {
     assert!(samples > 0, "need at least one sample");
     let mut src = PatternSource::new(seed, pi_probs.to_vec());
+    let mut ev = PackedEvaluator::with_width(net, WIDTH);
     let mut hits = 0u64;
     let mut drawn = 0u64;
     while drawn < samples {
-        let batch = src.next_batch();
-        let values = net.eval_packed_all(&batch, None);
-        let lanes = (samples - drawn).min(64);
-        let mask = if lanes == 64 {
-            u64::MAX
-        } else {
-            (1u64 << lanes) - 1
-        };
-        hits += (values[target.index()] & mask).count_ones() as u64;
-        drawn += lanes;
+        let batch = src.next_batch_wide(WIDTH);
+        let values = ev.eval(&batch);
+        for w in 0..WIDTH {
+            if drawn >= samples {
+                break;
+            }
+            let lanes = (samples - drawn).min(64);
+            let mask = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
+            hits += (values[target.index() * WIDTH + w] & mask).count_ones() as u64;
+            drawn += lanes;
+        }
     }
     estimate_from_counts(hits, samples)
 }
@@ -95,33 +104,15 @@ pub fn mc_detection_probability(
     seed: u64,
     samples: u64,
 ) -> Estimate {
-    assert!(samples > 0, "need at least one sample");
-    let mut src = PatternSource::new(seed, pi_probs.to_vec());
-    let mut hits = 0u64;
-    let mut drawn = 0u64;
-    while drawn < samples {
-        let batch = src.next_batch();
-        let good = net.eval_packed(&batch);
-        let bad = net.eval_packed_faulty(&batch, Some(fault));
-        let mut differ = 0u64;
-        for (g, b) in good.iter().zip(&bad) {
-            differ |= g ^ b;
-        }
-        let lanes = (samples - drawn).min(64);
-        let mask = if lanes == 64 {
-            u64::MAX
-        } else {
-            (1u64 << lanes) - 1
-        };
-        hits += (differ & mask).count_ones() as u64;
-        drawn += lanes;
-    }
-    estimate_from_counts(hits, samples)
+    mc_detection_core(net, std::slice::from_ref(fault), pi_probs, seed, samples)
+        .pop()
+        .expect("one estimate per fault")
 }
 
 /// Monte Carlo detection probabilities for a whole list (one estimate per
 /// entry), sharing one pattern stream across faults so estimates are
-/// comparable.
+/// comparable — and sharing each batch's good-machine evaluation, so the
+/// marginal cost per fault is its fanout cone, not the network.
 pub fn mc_detection_probabilities(
     net: &Network,
     faults: &[FaultEntry],
@@ -129,9 +120,51 @@ pub fn mc_detection_probabilities(
     seed: u64,
     samples: u64,
 ) -> Vec<Estimate> {
-    faults
-        .iter()
-        .map(|e| mc_detection_probability(net, &e.fault, pi_probs, seed, samples))
+    let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
+    mc_detection_core(net, &faults, pi_probs, seed, samples)
+}
+
+fn mc_detection_core(
+    net: &Network,
+    faults: &[NetworkFault],
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+) -> Vec<Estimate> {
+    assert!(samples > 0, "need at least one sample");
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let mut src = PatternSource::new(seed, pi_probs.to_vec());
+    let mut ev = PackedEvaluator::with_width(net, WIDTH);
+    let prepared: Vec<_> = faults.iter().map(|f| net.prepare_fault(f)).collect();
+    let mut hits = vec![0u64; faults.len()];
+    let mut diff = vec![0u64; WIDTH];
+    let mut masks = [0u64; WIDTH];
+    let mut drawn = 0u64;
+    while drawn < samples {
+        let batch = src.next_batch_wide(WIDTH);
+        ev.eval(&batch);
+        let mut pass_drawn = 0u64;
+        for mask in &mut masks {
+            let lanes = (samples - drawn - pass_drawn).min(64);
+            *mask = match lanes {
+                64 => u64::MAX,
+                0 => 0,
+                l => (1u64 << l) - 1,
+            };
+            pass_drawn += lanes;
+        }
+        for (fi, p) in prepared.iter().enumerate() {
+            ev.fault_diff(p, &mut diff);
+            for (d, m) in diff.iter().zip(&masks) {
+                hits[fi] += (d & m).count_ones() as u64;
+            }
+        }
+        drawn += pass_drawn;
+    }
+    hits.into_iter()
+        .map(|h| estimate_from_counts(h, samples))
         .collect()
 }
 
@@ -184,7 +217,11 @@ mod tests {
         // AND: p^2, OR: 1-(1-p)^2 alternating from leaves.
         let mut p = 0.5f64;
         for level in 1..=5 {
-            p = if level % 2 == 1 { p * p } else { 1.0 - (1.0 - p) * (1.0 - p) };
+            p = if level % 2 == 1 {
+                p * p
+            } else {
+                1.0 - (1.0 - p) * (1.0 - p)
+            };
         }
         assert!(close(&est, p), "analytic {p} vs {est:?}");
     }

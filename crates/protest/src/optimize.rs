@@ -12,7 +12,7 @@
 //! magnitude effect on the paper-scale circuits (the objective is exact,
 //! via exhaustive detection probabilities).
 
-use crate::detect::detection_probabilities;
+use crate::detect::ExactDetector;
 use crate::length::test_length;
 use crate::list::FaultEntry;
 use dynmos_netlist::Network;
@@ -44,8 +44,8 @@ impl OptimizeReport {
 /// The candidate grid used for each coordinate. Matches the resolution a
 /// weighted-random pattern generator can realize with a few LFSR bits.
 const GRID: [f64; 15] = [
-    0.03125, 0.0625, 0.125, 0.1875, 0.25, 0.375, 0.5, 0.625, 0.75, 0.8125, 0.875, 0.9375,
-    0.96875, 0.984375, 0.015625,
+    0.03125, 0.0625, 0.125, 0.1875, 0.25, 0.375, 0.5, 0.625, 0.75, 0.8125, 0.875, 0.9375, 0.96875,
+    0.984375, 0.015625,
 ];
 
 /// Optimizes per-input signal probabilities to minimize the joint random
@@ -81,10 +81,11 @@ pub fn optimize_input_probabilities(
 ) -> OptimizeReport {
     let n = net.primary_inputs().len();
     let mut probs = vec![0.5f64; n];
-    let objective = |probs: &[f64]| -> u64 {
-        let det = detection_probabilities(net, faults, probs);
-        test_length(&det, confidence)
-    };
+    // One detector (compiled evaluator + prepared faults) serves every
+    // objective evaluation of the descent.
+    let mut detector = ExactDetector::new(net, faults);
+    let mut objective =
+        |probs: &[f64]| -> u64 { test_length(&detector.probabilities(probs), confidence) };
     let uniform_length = objective(&probs);
     let mut best = uniform_length;
     // Phase 1: uniform grid scan. On symmetric circuits (wide gates,
@@ -140,9 +141,7 @@ pub fn optimize_input_probabilities(
 mod tests {
     use super::*;
     use crate::list::network_fault_list;
-    use dynmos_netlist::generate::{
-        and_or_tree, domino_wide_and, fig9_cell, single_cell_network,
-    };
+    use dynmos_netlist::generate::{and_or_tree, domino_wide_and, fig9_cell, single_cell_network};
 
     #[test]
     fn wide_and_improves_by_orders_of_magnitude() {

@@ -60,28 +60,46 @@ impl PatternSource {
     /// Generates the next 64 patterns, packed: element `i` of the result
     /// holds input `i`'s values across the 64 lanes.
     pub fn next_batch(&mut self) -> Vec<u64> {
-        self.probs
-            .iter()
-            .map(|&p| {
-                if (p - 0.5).abs() < 1e-12 {
-                    // Fast path: one RNG word per input.
-                    self.rng.gen::<u64>()
-                } else {
-                    let mut w = 0u64;
-                    for lane in 0..64 {
-                        if self.rng.gen_bool(p) {
-                            w |= 1 << lane;
-                        }
-                    }
-                    w
-                }
-            })
-            .collect()
+        self.next_batch_wide(1)
+    }
+
+    /// Generates the next `width × 64` patterns in the wide evaluator
+    /// layout ([`dynmos_netlist::PackedEvaluator::with_width`]): `width`
+    /// consecutive words per input, inputs in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn next_batch_wide(&mut self, width: usize) -> Vec<u64> {
+        assert!(width > 0, "need at least one lane word");
+        let mut out = Vec::with_capacity(self.probs.len() * width);
+        for &p in &self.probs {
+            for _ in 0..width {
+                out.push(weighted_word(&mut self.rng, p));
+            }
+        }
+        out
     }
 
     /// Generates one scalar pattern as a `Vec<bool>`.
     pub fn next_pattern(&mut self) -> Vec<bool> {
         self.probs.iter().map(|&p| self.rng.gen_bool(p)).collect()
+    }
+}
+
+/// One packed word of 64 weighted coin flips.
+fn weighted_word(rng: &mut StdRng, p: f64) -> u64 {
+    if (p - 0.5).abs() < 1e-12 {
+        // Fast path: one RNG word per input.
+        rng.gen::<u64>()
+    } else {
+        let mut w = 0u64;
+        for lane in 0..64 {
+            if rng.gen_bool(p) {
+                w |= 1 << lane;
+            }
+        }
+        w
     }
 }
 

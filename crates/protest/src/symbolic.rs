@@ -85,11 +85,7 @@ pub fn bdd_signal_probability(
 /// // Detected whenever the good output is 0.
 /// assert!(p > 0.0 && p < 1.0);
 /// ```
-pub fn bdd_detection_probability(
-    net: &Network,
-    fault: &NetworkFault,
-    pi_probs: &[f64],
-) -> f64 {
+pub fn bdd_detection_probability(net: &Network, fault: &NetworkFault, pi_probs: &[f64]) -> f64 {
     assert_eq!(
         pi_probs.len(),
         net.primary_inputs().len(),
@@ -165,11 +161,7 @@ mod tests {
         for e in &faults {
             let exact = exact_detection_probability(&net, &e.fault, &probs);
             let sym = bdd_detection_probability(&net, &e.fault, &probs);
-            assert!(
-                (exact - sym).abs() < 1e-12,
-                "{}: {exact} vs {sym}",
-                e.label
-            );
+            assert!((exact - sym).abs() < 1e-12, "{}: {exact} vs {sym}", e.label);
         }
     }
 
@@ -211,10 +203,8 @@ mod tests {
                     (AtpgOutcome::Test(_), Some(pattern)) => {
                         // Validate the BDD pattern via simulation.
                         let sim = crate::fsim::FaultSimulator::new(&net);
-                        let out = sim.run_patterns(
-                            std::slice::from_ref(e),
-                            std::slice::from_ref(&pattern),
-                        );
+                        let out = sim
+                            .run_patterns(std::slice::from_ref(e), std::slice::from_ref(&pattern));
                         assert_eq!(out.coverage(), 1.0, "{} BDD pattern invalid", e.label);
                     }
                     (AtpgOutcome::Redundant, None) => {}

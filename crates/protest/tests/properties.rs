@@ -3,8 +3,8 @@
 use dynmos_netlist::generate::{random_domino_network, single_cell_network};
 use dynmos_netlist::Cell;
 use dynmos_protest::{
-    detection_probabilities, escape_probability, exact_detection_probability,
-    network_fault_list, test_length, test_length_per_fault, FaultSimulator, PatternSource,
+    detection_probabilities, escape_probability, exact_detection_probability, network_fault_list,
+    test_length, test_length_per_fault, FaultSimulator, PatternSource,
 };
 use proptest::prelude::*;
 
@@ -41,6 +41,40 @@ proptest! {
         prop_assert!(n_hi >= n_lo);
         let weakest = probs.iter().cloned().fold(f64::INFINITY, f64::min);
         prop_assert!(n_lo >= test_length_per_fault(weakest, c));
+    }
+
+    /// The shared-enumeration detection probabilities (compiled
+    /// evaluator, cone-incremental faulty replay) agree with a
+    /// per-fault reference computed on the legacy interpreter.
+    #[test]
+    fn detection_probabilities_match_interpreter_reference(seed in 0u64..400) {
+        let net = random_domino_network(seed, 3, 4);
+        let n = net.primary_inputs().len();
+        prop_assume!(n <= 8);
+        let faults = network_fault_list(&net);
+        let probs: Vec<f64> = (0..n).map(|i| 0.3 + 0.05 * i as f64).collect();
+        let fast = detection_probabilities(&net, &faults, &probs);
+        for (e, got) in faults.iter().zip(&fast) {
+            // Reference: scalar weighted enumeration on the interpreter.
+            let mut expect = 0.0f64;
+            for w in 0..(1u64 << n) {
+                let lanes: Vec<u64> = (0..n).map(|i| (w >> i) & 1).collect();
+                let good = net.eval_packed_all_reference(&lanes, None);
+                let bad = net.eval_packed_all_reference(&lanes, Some(&e.fault));
+                let detected = net
+                    .primary_outputs()
+                    .iter()
+                    .any(|po| good[po.index()] & 1 != bad[po.index()] & 1);
+                if detected {
+                    let mut weight = 1.0;
+                    for (i, &p) in probs.iter().enumerate() {
+                        weight *= if (w >> i) & 1 == 1 { p } else { 1.0 - p };
+                    }
+                    expect += weight;
+                }
+            }
+            prop_assert!((got - expect).abs() < 1e-9, "{}: {} vs {}", e.label, got, expect);
+        }
     }
 
     /// Detection probabilities are probabilities, and the fault-free

@@ -33,4 +33,4 @@ pub use galois::GaloisLfsr;
 pub use lfsr::Lfsr;
 pub use misr::Misr;
 pub use session::{SelfTestSession, SessionOutcome};
-pub use weighted::{WeightedGenerator, WeightSpec};
+pub use weighted::{WeightSpec, WeightedGenerator};

@@ -85,7 +85,11 @@ impl WeightedGenerator {
     pub fn new(degree: u32, seed: u64, specs: Vec<WeightSpec>) -> Self {
         assert!(!specs.is_empty(), "need at least one input weight");
         for s in &specs {
-            assert!((1..=6).contains(&s.k), "weight stage k={} out of 1..=6", s.k);
+            assert!(
+                (1..=6).contains(&s.k),
+                "weight stage k={} out of 1..=6",
+                s.k
+            );
         }
         Self {
             lfsr: Lfsr::new(degree, seed),

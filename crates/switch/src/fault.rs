@@ -232,7 +232,10 @@ mod tests {
     fn resistance_scale_eq_hash_consistent() {
         use std::collections::HashSet;
         let mut s = HashSet::new();
-        s.insert(SwitchFault::Resistive(TransistorId(0), ResistanceScale(2.0)));
+        s.insert(SwitchFault::Resistive(
+            TransistorId(0),
+            ResistanceScale(2.0),
+        ));
         assert!(s.contains(&SwitchFault::Resistive(
             TransistorId(0),
             ResistanceScale(2.0)

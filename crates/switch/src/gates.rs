@@ -366,10 +366,7 @@ impl DynamicNmosGate {
 /// input words, returning the output levels in row order.
 ///
 /// Handy for comparing a faulty gate against a predicted faulty function.
-pub fn exhaustive_response(
-    nvars: usize,
-    eval: impl FnMut(u64) -> Logic,
-) -> Vec<Logic> {
+pub fn exhaustive_response(nvars: usize, eval: impl FnMut(u64) -> Logic) -> Vec<Logic> {
     (0..(1u64 << nvars)).map(eval).collect()
 }
 

@@ -55,4 +55,6 @@ pub use level::{Logic, Signal, Strength};
 pub use scvs::{scvs_gate, ScvsGate};
 pub use sim::{SettleReport, Sim};
 pub use sn::{build_sn, SnError, SnHandle};
-pub use timing::{contention, domino_precharge_contention, path_resistance, ContentionOutcome, RcParams};
+pub use timing::{
+    contention, domino_precharge_contention, path_resistance, ContentionOutcome, RcParams,
+};

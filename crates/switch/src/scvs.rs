@@ -154,10 +154,7 @@ impl ScvsGate {
     /// `true` when the output pair is a valid dual-rail codeword
     /// (exactly one rail high).
     pub fn is_codeword(pair: (Logic, Logic)) -> bool {
-        matches!(
-            pair,
-            (Logic::One, Logic::Zero) | (Logic::Zero, Logic::One)
-        )
+        matches!(pair, (Logic::One, Logic::Zero) | (Logic::Zero, Logic::One))
     }
 }
 

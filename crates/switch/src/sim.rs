@@ -291,10 +291,7 @@ impl<'c> Sim<'c> {
             }
         }
         for root in tainted {
-            comp_signal
-                .get_mut(&root)
-                .expect("component exists")
-                .level = Logic::X;
+            comp_signal.get_mut(&root).expect("component exists").level = Logic::X;
         }
 
         let mut next: Vec<Signal> = self

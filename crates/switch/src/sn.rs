@@ -252,8 +252,10 @@ mod tests {
         let g2: Vec<NodeId> = (0..3).map(|i| b2.input(&format!("i{i}"))).collect();
         let s2 = b2.node("S");
         let d2 = b2.node("D");
-        let sn2 =
-            build_sn(&mut b2, &expr2, s2, d2, FetKind::N, &|v| Some(g2[v.index()])).unwrap();
+        let sn2 = build_sn(&mut b2, &expr2, s2, d2, FetKind::N, &|v| {
+            Some(g2[v.index()])
+        })
+        .unwrap();
         assert_eq!(sn2.transistors.len(), 4);
     }
 

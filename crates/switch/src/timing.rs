@@ -128,10 +128,7 @@ pub fn contention(r_up: f64, r_down: f64, v_start: f64, params: RcParams) -> Con
     } else if !r_down.is_finite() {
         (1.0, r_up)
     } else {
-        (
-            r_down / (r_up + r_down),
-            r_up * r_down / (r_up + r_down),
-        )
+        (r_down / (r_up + r_down), r_up * r_down / (r_up + r_down))
     };
     let tau = r_eff * params.capacitance;
 
@@ -288,10 +285,8 @@ pub fn domino_precharge_contention(
     if !sn_r.is_finite() {
         return None;
     }
-    let r_down =
-        sn_r + circuit.transistor(gate.t2).resistance * faults.resistance_scale(gate.t2);
-    let r_up =
-        circuit.transistor(gate.t1).resistance * faults.resistance_scale(gate.t1);
+    let r_down = sn_r + circuit.transistor(gate.t2).resistance * faults.resistance_scale(gate.t2);
+    let r_up = circuit.transistor(gate.t1).resistance * faults.resistance_scale(gate.t1);
     Some(contention(r_up, r_down, 1.0, params))
 }
 
@@ -410,8 +405,7 @@ mod tests {
         fn no_conduction_means_no_contention() {
             let gate = fig9_gate();
             // word 0: T = 0, SN blocks, no fight.
-            let out =
-                domino_precharge_contention(&gate, &FaultSet::new(), 0, RcParams::typical());
+            let out = domino_precharge_contention(&gate, &FaultSet::new(), 0, RcParams::typical());
             assert!(out.is_none());
         }
 
@@ -427,8 +421,8 @@ mod tests {
             let shallow = domino_gate(&t1, 1).unwrap();
             let deep = domino_precharge_contention(&gate, &FaultSet::new(), 0b00011, p)
                 .expect("SN conducts");
-            let short = domino_precharge_contention(&shallow, &FaultSet::new(), 1, p)
-                .expect("SN conducts");
+            let short =
+                domino_precharge_contention(&shallow, &FaultSet::new(), 1, p).expect("SN conducts");
             // Deeper pull-down path -> higher r_down -> higher v_final.
             assert!(deep.v_final > short.v_final);
         }
@@ -444,10 +438,9 @@ mod tests {
                 gate.sn.transistors[0],
                 ResistanceScale(8.0),
             ));
-            let base = domino_precharge_contention(&gate, &FaultSet::new(), 0b00011, p)
-                .expect("conducts");
-            let slowed =
-                domino_precharge_contention(&gate, &faults, 0b00011, p).expect("conducts");
+            let base =
+                domino_precharge_contention(&gate, &FaultSet::new(), 0b00011, p).expect("conducts");
+            let slowed = domino_precharge_contention(&gate, &faults, 0b00011, p).expect("conducts");
             assert!(slowed.v_final > base.v_final);
         }
 
@@ -456,9 +449,8 @@ mod tests {
             let gate = fig9_gate();
             let mut faults = FaultSet::new();
             faults.stuck_open(gate.sn.transistors[0]); // kill the a-branch
-            // a=1,b=1 now has no conducting path (d*e off).
-            let out =
-                domino_precharge_contention(&gate, &faults, 0b00011, RcParams::typical());
+                                                       // a=1,b=1 now has no conducting path (d*e off).
+            let out = domino_precharge_contention(&gate, &faults, 0b00011, RcParams::typical());
             assert!(out.is_none());
         }
 
@@ -467,23 +459,14 @@ mod tests {
             let gate = fig9_gate();
             // all-ones: both branches conduct; resistance must be at most
             // the cheaper (2-transistor) branch.
-            let out = domino_precharge_contention(
-                &gate,
-                &FaultSet::new(),
-                0b11111,
-                RcParams::typical(),
-            )
-            .expect("conducts");
-            let single_branch = domino_precharge_contention(
-                &gate,
-                &FaultSet::new(),
-                0b00011,
-                RcParams::typical(),
-            )
-            .expect("conducts");
+            let out =
+                domino_precharge_contention(&gate, &FaultSet::new(), 0b11111, RcParams::typical())
+                    .expect("conducts");
+            let single_branch =
+                domino_precharge_contention(&gate, &FaultSet::new(), 0b00011, RcParams::typical())
+                    .expect("conducts");
             assert!(out.v_final <= single_branch.v_final + 1e-12);
         }
-
     }
 
     #[test]

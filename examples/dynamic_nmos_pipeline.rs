@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. c17 in dynamic nMOS, with a legal two-phase assignment.
     let net = c17_dynamic_nmos();
     net.check_clocking()?;
-    println!("c17(dynamic nMOS): {} gates, depth {}, two-phase discipline OK", net.gates().len(), net.depth());
+    println!(
+        "c17(dynamic nMOS): {} gates, depth {}, two-phase discipline OK",
+        net.gates().len(),
+        net.depth()
+    );
     for (gi, inst) in net.gates().iter().enumerate() {
         println!("  gate g{gi}: phase {}", inst.phase);
     }

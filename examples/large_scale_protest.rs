@@ -16,9 +16,7 @@
 use dynmos::atpg::{generate_test, AtpgOutcome};
 use dynmos::netlist::generate::carry_chain;
 use dynmos::protest::symbolic::{bdd_detection_probability, bdd_test_pattern};
-use dynmos::protest::{
-    mc_detection_probability, network_fault_list, test_length, FaultSimulator,
-};
+use dynmos::protest::{mc_detection_probability, network_fault_list, test_length, FaultSimulator};
 
 fn main() {
     let bits = 30;
@@ -76,5 +74,8 @@ fn main() {
         );
         checked += 1;
     }
-    println!("BDD and PODEM test engines agree on {checked}/{} sampled faults", sample.len());
+    println!(
+        "BDD and PODEM test engines agree on {checked}/{} sampled faults",
+        sample.len()
+    );
 }

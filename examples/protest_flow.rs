@@ -79,13 +79,7 @@ fn main() {
     ] {
         let mut src = PatternSource::new(0xACE1, probs);
         let out = FaultSimulator::new(&net).run_random(&faults, &mut src, budget);
-        let worst = out
-            .detected_at
-            .iter()
-            .flatten()
-            .max()
-            .copied()
-            .unwrap_or(0);
+        let worst = out.detected_at.iter().flatten().max().copied().unwrap_or(0);
         println!(
             "fault simulation [{label}]: coverage {:.1}% within {} patterns (last detection at #{worst})",
             100.0 * out.coverage(),

@@ -48,7 +48,11 @@ fn fig1_static_nor_becomes_sequential() {
         };
         let f0 = faulty(Logic::Zero);
         let f1 = faulty(Logic::One);
-        let memory = if f0 != f1 { "  <-- Z(t): SEQUENTIAL" } else { "" };
+        let memory = if f0 != f1 {
+            "  <-- Z(t): SEQUENTIAL"
+        } else {
+            ""
+        };
         println!(" {a} {b} |    {good}    |          {f0}           |    {f1}{memory}");
     }
     println!();

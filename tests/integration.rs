@@ -4,9 +4,7 @@
 use dynmos::atpg::{apply_twice, generate_test_set};
 use dynmos::logic::{min_dnf_string, parse_expr, TruthTable, VarTable};
 use dynmos::model::{classify, validate_cell, FaultLibrary, PhysicalFault};
-use dynmos::netlist::generate::{
-    c17_dynamic_nmos, carry_chain, single_cell_network,
-};
+use dynmos::netlist::generate::{c17_dynamic_nmos, carry_chain, single_cell_network};
 use dynmos::netlist::{parse_cell, Technology};
 use dynmos::protest::{
     detection_probabilities, network_fault_list, optimize_input_probabilities, test_length,
@@ -189,8 +187,7 @@ fn carry_chain_scales() {
         let faults = network_fault_list(&net);
         let report = generate_test_set(&net, &faults, 0);
         assert!(report.aborted.is_empty(), "{bits} bits aborted");
-        let outcome =
-            FaultSimulator::new(&net).run_patterns(&faults, &apply_twice(&report.tests));
+        let outcome = FaultSimulator::new(&net).run_patterns(&faults, &apply_twice(&report.tests));
         let undetected: Vec<_> = outcome
             .escapes()
             .iter()

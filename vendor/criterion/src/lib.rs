@@ -1,0 +1,293 @@
+//! Vendored shim for the subset of the `criterion` crate API this
+//! workspace uses: wall-clock micro-benchmarks with a calibrated
+//! iteration count and a compact median report.
+//!
+//! The statistical machinery of real criterion (outlier analysis, HTML
+//! reports, regression detection) is out of scope; numbers printed here
+//! are `[min median max]` over `sample_size` samples.
+
+use std::fmt;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The first positional CLI argument, if any — a substring filter on
+/// benchmark ids, matching real criterion's `cargo bench -- <filter>`.
+fn name_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn filtered_out(id: &str) -> bool {
+    name_filter().is_some_and(|f| !id.contains(f))
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_secs: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_secs: 0.30,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if filtered_out(id) {
+            return self;
+        }
+        let stats = run_samples(self, &mut routine);
+        report(id, &stats, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Per-sample timing loop handle.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if filtered_out(&full_id) {
+            return self;
+        }
+        let stats = run_samples(self.criterion, &mut routine);
+        report(&full_id, &stats, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if filtered_out(&full_id) {
+            return self;
+        }
+        let stats = run_samples(self.criterion, &mut |b: &mut Bencher| routine(b, input));
+        report(&full_id, &stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (function name and/or parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function_name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => write!(f, "{n}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+struct Stats {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(criterion: &Criterion, routine: &mut F) -> Stats {
+    // Calibration pass: one iteration, also serving as warm-up.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter_ns = (bencher.elapsed.as_nanos() as f64).max(1.0);
+    let budget_ns = criterion.measurement_secs * 1e9 / criterion.sample_size as f64;
+    let iters = (budget_ns / per_iter_ns).clamp(1.0, 1e9) as u64;
+
+    let mut samples: Vec<f64> = (0..criterion.sample_size)
+        .map(|_| {
+            bencher.iters = iters;
+            routine(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Stats {
+        min_ns: samples[0],
+        median_ns: samples[samples.len() / 2],
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} elem/s")
+    }
+}
+
+fn report(id: &str, stats: &Stats, throughput: Option<Throughput>) {
+    println!(
+        "{:<48} time: [{} {} {}]",
+        id,
+        fmt_time(stats.min_ns),
+        fmt_time(stats.median_ns),
+        fmt_time(stats.max_ns)
+    );
+    if let Some(t) = throughput {
+        let per_iter = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        let unit = per_iter * 1e9 / stats.median_ns;
+        let label = match t {
+            Throughput::Elements(_) => fmt_rate(unit),
+            Throughput::Bytes(_) => format!("{:.3} MiB/s", unit / (1024.0 * 1024.0)),
+        };
+        println!("{:<48} thrpt: [{}]", "", label);
+    }
+}
+
+/// Defines a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; there is
+            // nothing to verify in that mode.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

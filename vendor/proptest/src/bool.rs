@@ -1,0 +1,19 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Fair-coin strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any;
+
+/// The fair-coin strategy value.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

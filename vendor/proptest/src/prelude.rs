@@ -1,0 +1,14 @@
+//! The glob-import surface test files use (`use proptest::prelude::*`).
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace alias so `prop::collection::vec`, `prop::sample::Index` and
+/// `prop::bool::ANY` resolve as they do with the real crate.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}

@@ -1,0 +1,33 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: drawn once, projected onto any collection
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Strategy generating [`Index`] values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
