@@ -20,5 +20,8 @@
 pub mod podem;
 pub mod tri;
 
-pub use podem::{apply_twice, generate_test, generate_test_set, AtpgOutcome, TestSetReport};
+pub use podem::{
+    apply_twice, generate_test, generate_test_set, generate_test_set_par, AtpgOutcome,
+    TestSetReport,
+};
 pub use tri::Tri;

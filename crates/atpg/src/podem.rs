@@ -14,7 +14,7 @@
 
 use crate::tri::{eval_tri, Tri};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator};
-use dynmos_protest::FaultEntry;
+use dynmos_protest::{run_sharded, FaultEntry, Parallelism};
 
 /// Result of a single-fault ATPG run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -356,14 +356,37 @@ pub fn generate_test_set(
     faults: &[FaultEntry],
     max_backtracks: u64,
 ) -> TestSetReport {
+    generate_test_set_par(net, faults, max_backtracks, Parallelism::default())
+}
+
+/// Only shard the dropping pass when enough uncovered faults remain to
+/// pay for a per-worker evaluator allocation.
+const PARALLEL_DROP_MIN: usize = 128;
+
+/// [`generate_test_set`] with an explicit thread policy for the
+/// fault-dropping pass: after each generated test, the still-uncovered
+/// faults are diffed against it in fault shards, each worker on its own
+/// evaluator ([`dynmos_protest::parallel`]). Covered-set updates are
+/// order-independent, so the generated test set is identical at any
+/// thread count.
+pub fn generate_test_set_par(
+    net: &Network,
+    faults: &[FaultEntry],
+    max_backtracks: u64,
+    parallelism: Parallelism,
+) -> TestSetReport {
     // One compiled evaluator and one prepared fault apiece serve the
     // whole dropping loop; each new test diffs only the still-uncovered
     // faults, and only their fanout cones.
     let mut ev = PackedEvaluator::new(net);
     let prepared: Vec<_> = faults.iter().map(|e| net.prepare_fault(&e.fault)).collect();
     let n = net.primary_inputs().len();
+    let threads = parallelism.resolve();
     let mut batch = vec![0u64; n];
     let mut covered = vec![false; faults.len()];
+    let mut uncovered_count = faults.len();
+    // Scratch for the sharded path, allocated once per call.
+    let mut uncovered: Vec<usize> = Vec::new();
     let mut tests: Vec<Vec<bool>> = Vec::new();
     let mut redundant = Vec::new();
     let mut aborted = Vec::new();
@@ -377,10 +400,32 @@ pub fn generate_test_set(
                 for (b, &bit) in batch.iter_mut().zip(&t) {
                     *b = bit as u64;
                 }
-                ev.eval(&batch);
-                for (j, p) in prepared.iter().enumerate() {
-                    if !covered[j] && ev.fault_diff64(p) & 1 == 1 {
+                if threads > 1 && uncovered_count >= PARALLEL_DROP_MIN {
+                    uncovered.clear();
+                    uncovered.extend((0..faults.len()).filter(|&j| !covered[j]));
+                    let batch = &batch;
+                    let prepared = &prepared;
+                    let uncovered = &uncovered;
+                    let newly = run_sharded(uncovered.len(), threads, |range| {
+                        let mut ev = PackedEvaluator::new(net);
+                        ev.eval(batch);
+                        uncovered[range]
+                            .iter()
+                            .copied()
+                            .filter(|&j| ev.fault_diff64(&prepared[j]) & 1 == 1)
+                            .collect::<Vec<usize>>()
+                    });
+                    for j in newly.into_iter().flatten() {
                         covered[j] = true;
+                        uncovered_count -= 1;
+                    }
+                } else {
+                    ev.eval(&batch);
+                    for (j, p) in prepared.iter().enumerate() {
+                        if !covered[j] && ev.fault_diff64(p) & 1 == 1 {
+                            covered[j] = true;
+                            uncovered_count -= 1;
+                        }
                     }
                 }
                 assert!(covered[i], "generated test must cover its target");

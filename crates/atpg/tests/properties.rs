@@ -1,10 +1,36 @@
 //! Property-based tests for the ATPG engine.
 
-use dynmos_atpg::{apply_twice, generate_test, generate_test_set, AtpgOutcome};
-use dynmos_netlist::generate::random_domino_network;
+use dynmos_atpg::{
+    apply_twice, generate_test, generate_test_set, generate_test_set_par, AtpgOutcome,
+};
+use dynmos_netlist::generate::{random_domino_network, ripple_adder};
 use dynmos_netlist::NetworkFault;
-use dynmos_protest::{network_fault_list, FaultSimulator};
+use dynmos_protest::{network_fault_list, stuck_fault_list, FaultSimulator, Parallelism};
 use proptest::prelude::*;
+
+/// The thread-sharded fault-dropping pass must generate the same test
+/// set, redundancy list, and abort list as the serial one.
+#[test]
+fn parallel_dropping_is_identical_to_serial() {
+    // 226 stuck-at faults: enough to cross the parallel dropping
+    // threshold, so the sharded path really runs.
+    let net = ripple_adder(16);
+    let faults = stuck_fault_list(&net);
+    let serial = generate_test_set_par(&net, &faults, 0, Parallelism::Serial);
+    for threads in [2usize, 4, 8] {
+        let par = generate_test_set_par(&net, &faults, 0, Parallelism::Fixed(threads));
+        assert_eq!(par.tests, serial.tests, "threads={threads}");
+        assert_eq!(par.redundant, serial.redundant, "threads={threads}");
+        assert_eq!(par.aborted, serial.aborted, "threads={threads}");
+    }
+    // And the set is valid: it detects every irredundant fault.
+    let out = FaultSimulator::new(&net).run_patterns(&faults, &serial.tests);
+    for (i, entry) in faults.iter().enumerate() {
+        let detected = out.detected_at[i].is_some();
+        let redundant = serial.redundant.contains(&entry.label);
+        assert!(detected ^ redundant, "{}", entry.label);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

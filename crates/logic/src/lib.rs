@@ -34,6 +34,7 @@ pub mod cube;
 pub mod error;
 pub mod expr;
 pub mod mindnf;
+pub mod packed;
 pub mod parser;
 pub mod prob;
 pub mod table;
@@ -44,6 +45,7 @@ pub use cube::{Cover, Cube};
 pub use error::ParseExprError;
 pub use expr::Bexpr;
 pub use mindnf::{min_dnf, min_dnf_string, prime_implicants};
+pub use packed::PackedWeight;
 pub use parser::{parse_assignments, parse_expr};
 pub use prob::{signal_probability, signal_probability_expr};
 pub use table::TruthTable;

@@ -1,0 +1,207 @@
+//! Bit-sliced weighted bit generation.
+//!
+//! Weighted-random test needs, for every circuit input, a stream of
+//! Bernoulli(`p`) bits — 64 at a time for the pattern-parallel
+//! simulators. Drawing each bit with its own floating-point comparison
+//! makes the generator, not the compiled network kernel, the dominant
+//! cost of Monte Carlo runs. This module lowers a probability **once** to
+//! a fixed-point threshold and then synthesizes a whole 64-lane weighted
+//! word from a handful of *uniform* words with the classic AND/OR
+//! cascade:
+//!
+//! For `p = 0.b1 b2 … bk` (binary expansion, `bk = 1`), start with one
+//! uniform word (probability `0.bk = 1/2`) and fold in the remaining
+//! expansion bits from `b(k-1)` up to `b1`: a `1` bit ORs a fresh uniform
+//! word (`p ← 1/2 + p/2`), a `0` bit ANDs one (`p ← p/2`). Lane-wise this
+//! is exactly the comparison `U < t` of a `k`-bit uniform number against
+//! the fixed threshold, evaluated MSB-down on all 64 lanes in parallel —
+//! so dyadic probabilities `m/2^k` are realized *exactly* from `k`
+//! uniform words, and arbitrary probabilities fall back to the same
+//! threshold comparison at full 64-bit fixed-point resolution.
+//!
+//! The primitive is shared by `dynmos-protest`'s software pattern source
+//! and `dynmos-selftest`'s LFSR-driven weighted generators (whose
+//! realizable weights `2^-k` and `1 - 2^-k` are dyadic by construction).
+
+/// A probability lowered to fixed-point, ready for bit-sliced generation.
+///
+/// `Threshold(t)` realizes `P(bit = 1) = t / 2^64` (so `Threshold(0)` is
+/// the constant-0 stream); `One` is the constant-1 stream, which the
+/// threshold form cannot express (`2^64` overflows the word).
+///
+/// # Example
+///
+/// ```
+/// use dynmos_logic::PackedWeight;
+///
+/// let w = PackedWeight::lower(0.9375); // dyadic: 15/16
+/// assert_eq!(w.probability(), 0.9375); // realized exactly
+/// assert_eq!(w.depth(), 4); // four uniform words per weighted word
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedWeight {
+    /// Every bit is 1 (probability exactly 1).
+    One,
+    /// `P(bit = 1) = threshold / 2^64`.
+    Threshold(u64),
+}
+
+impl PackedWeight {
+    /// Lowers `p` to fixed point: the nearest multiple of `2^-64`.
+    ///
+    /// Dyadic probabilities `m/2^k` with `k <= 53` (every `f64`-exact
+    /// dyadic) lower exactly; others round to the closest representable
+    /// threshold, an error below `2^-53` relative to the requested value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn lower(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        // Scale into [0, 2^64]; the saturating u128 cast keeps the
+        // boundary case p = 1 (and anything rounding up to 2^64) exact.
+        let scaled = (p * 18_446_744_073_709_551_616.0).round() as u128;
+        if scaled >= 1u128 << 64 {
+            PackedWeight::One
+        } else {
+            PackedWeight::Threshold(scaled as u64)
+        }
+    }
+
+    /// The probability this weight realizes — exactly.
+    pub fn probability(self) -> f64 {
+        match self {
+            PackedWeight::One => 1.0,
+            PackedWeight::Threshold(t) => t as f64 / 18_446_744_073_709_551_616.0,
+        }
+    }
+
+    /// Number of uniform words consumed per weighted word: the length of
+    /// the threshold's binary expansion (0 for the constant streams).
+    pub fn depth(self) -> u32 {
+        match self {
+            PackedWeight::One | PackedWeight::Threshold(0) => 0,
+            PackedWeight::Threshold(t) => 64 - t.trailing_zeros(),
+        }
+    }
+
+    /// Synthesizes one 64-lane weighted word, drawing [`Self::depth`]
+    /// uniform words from `next_uniform` (the AND/OR cascade described in
+    /// the module docs).
+    pub fn weighted_word(self, mut next_uniform: impl FnMut() -> u64) -> u64 {
+        let t = match self {
+            PackedWeight::One => return !0,
+            PackedWeight::Threshold(0) => return 0,
+            PackedWeight::Threshold(t) => t,
+        };
+        let k = 64 - t.trailing_zeros();
+        // Expansion bit b_i of t = 0.b1 b2 … bk is word bit 64 - i; b_k
+        // is 1 by construction and seeds the cascade at probability 1/2.
+        let mut acc = next_uniform();
+        for i in (1..k).rev() {
+            let u = next_uniform();
+            acc = if (t >> (64 - i)) & 1 == 1 {
+                u | acc
+            } else {
+                u & acc
+            };
+        }
+        acc
+    }
+
+    /// One scalar Bernoulli draw from a single uniform word — the same
+    /// threshold comparison the cascade computes lane-wise, so scalar and
+    /// packed draws realize the identical probability.
+    pub fn scalar_draw(self, uniform: u64) -> bool {
+        match self {
+            PackedWeight::One => true,
+            PackedWeight::Threshold(t) => uniform < t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic uniform-word source for the tests.
+    fn words(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn dyadic_lowering_is_exact() {
+        for k in 1..=20u32 {
+            for m in [1u64, (1 << k) / 2 + 1, (1 << k) - 1] {
+                let p = m as f64 / (1u64 << k) as f64;
+                let w = PackedWeight::lower(p);
+                assert_eq!(w.probability(), p, "m={m} k={k}");
+                // depth == index of the last set expansion bit.
+                assert_eq!(w.depth(), k - m.trailing_zeros(), "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_probabilities() {
+        assert_eq!(PackedWeight::lower(0.0), PackedWeight::Threshold(0));
+        assert_eq!(PackedWeight::lower(1.0), PackedWeight::One);
+        let mut src = words(1);
+        assert_eq!(PackedWeight::lower(0.0).weighted_word(&mut src), 0);
+        assert_eq!(PackedWeight::lower(1.0).weighted_word(&mut src), !0);
+        assert!(!PackedWeight::lower(0.0).scalar_draw(0));
+        assert!(PackedWeight::lower(1.0).scalar_draw(u64::MAX));
+    }
+
+    #[test]
+    fn half_costs_one_word() {
+        let w = PackedWeight::lower(0.5);
+        assert_eq!(w, PackedWeight::Threshold(1 << 63));
+        assert_eq!(w.depth(), 1);
+    }
+
+    #[test]
+    fn cascade_frequency_tracks_probability() {
+        // 2^16 lanes per probability; 4 sigma tolerance.
+        for p in [0.5, 0.25, 0.9375, 0.015625, 0.3, 0.71] {
+            let w = PackedWeight::lower(p);
+            let mut src = words(0xC0FFEE ^ p.to_bits());
+            let lanes = 1u64 << 16;
+            let mut ones = 0u64;
+            for _ in 0..lanes / 64 {
+                ones += w.weighted_word(&mut src).count_ones() as u64;
+            }
+            let freq = ones as f64 / lanes as f64;
+            let tol = 4.0 * (p * (1.0 - p) / lanes as f64).sqrt();
+            assert!((freq - p).abs() < tol.max(1e-4), "p={p} freq={freq}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_packed_probabilities_agree() {
+        for p in [0.5, 0.125, 0.875, 0.3] {
+            let w = PackedWeight::lower(p);
+            let mut src = words(42 ^ p.to_bits());
+            let n = 1u64 << 16;
+            let scalar = (0..n).filter(|_| w.scalar_draw(src())).count() as f64 / n as f64;
+            let tol = 4.0 * (p * (1.0 - p) / n as f64).sqrt();
+            assert!(
+                (scalar - w.probability()).abs() < tol,
+                "p={p} freq={scalar}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_panics() {
+        PackedWeight::lower(1.5);
+    }
+}

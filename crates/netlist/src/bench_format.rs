@@ -1,0 +1,450 @@
+//! Parser for the ISCAS `.bench` netlist format.
+//!
+//! The ISCAS-85/89 benchmark circuits — the standard corpus for fault
+//! simulation and test generation since the paper's era — circulate as
+//! plain-text `.bench` files:
+//!
+//! ```text
+//! # c17
+//! INPUT(G1)
+//! INPUT(G2)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = NAND(G10, G16)
+//! ```
+//!
+//! [`parse_bench`] lowers such a description to a [`Network`] of
+//! [`Technology::Bipolar`] cells (the direct-function technology, which
+//! carries the classic stuck-at fault model the ISCAS tradition assumes).
+//! Gate definitions may appear in any order — the parser topologically
+//! sorts them — and each distinct `(gate type, fan-in)` pair becomes one
+//! shared cell. Sequential elements (`DFF`) are rejected: this workspace
+//! models combinational networks only.
+
+use crate::cell::Cell;
+use crate::network::{Network, NetworkBuilder, NetworkError, Phase};
+use crate::tech::Technology;
+use dynmos_logic::{Bexpr, VarId};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed.
+    BadLine(String),
+    /// Unknown gate type (or the sequential `DFF`, which is unsupported).
+    BadGate(String),
+    /// A gate reads a signal that is neither an input nor defined.
+    Undefined(String),
+    /// A signal is defined more than once (or collides with an input).
+    Redefined(String),
+    /// The gate defining this signal has an unsupported fan-in count.
+    BadArity(String),
+    /// An `OUTPUT` names an unknown signal.
+    UnknownOutput(String),
+    /// The definitions contain a combinational cycle through this signal.
+    Cycle(String),
+    /// The netlist has no primary inputs or no gates.
+    Empty,
+    /// The assembled network failed validation.
+    Network(NetworkError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::BadLine(l) => write!(f, "cannot parse line '{l}'"),
+            ParseBenchError::BadGate(g) => write!(f, "unsupported gate type '{g}'"),
+            ParseBenchError::Undefined(s) => write!(f, "undefined signal '{s}'"),
+            ParseBenchError::Redefined(s) => write!(f, "signal '{s}' defined twice"),
+            ParseBenchError::BadArity(s) => write!(f, "bad fan-in count for '{s}'"),
+            ParseBenchError::UnknownOutput(s) => write!(f, "OUTPUT names unknown signal '{s}'"),
+            ParseBenchError::Cycle(s) => write!(f, "combinational cycle through '{s}'"),
+            ParseBenchError::Empty => write!(f, "netlist has no inputs or no gates"),
+            ParseBenchError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {}
+
+impl From<NetworkError> for ParseBenchError {
+    fn from(e: NetworkError) -> Self {
+        ParseBenchError::Network(e)
+    }
+}
+
+/// The gate vocabulary of the `.bench` format (combinational subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BenchGate {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buf,
+}
+
+impl BenchGate {
+    fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(BenchGate::And),
+            "NAND" => Some(BenchGate::Nand),
+            "OR" => Some(BenchGate::Or),
+            "NOR" => Some(BenchGate::Nor),
+            "XOR" => Some(BenchGate::Xor),
+            "XNOR" => Some(BenchGate::Xnor),
+            "NOT" => Some(BenchGate::Not),
+            "BUF" | "BUFF" => Some(BenchGate::Buf),
+            _ => None,
+        }
+    }
+
+    /// Checks the fan-in count: NOT/BUF are unary, everything else needs
+    /// at least two operands (XOR/XNOR fold pairwise).
+    fn arity_ok(self, n: usize) -> bool {
+        match self {
+            BenchGate::Not | BenchGate::Buf => n == 1,
+            _ => n >= 2,
+        }
+    }
+
+    /// The direct logic function over `n` dense variables.
+    fn function(self, n: usize) -> Bexpr {
+        let vars: Vec<Bexpr> = (0..n).map(|i| Bexpr::var(VarId(i as u32))).collect();
+        let parity = |negate: bool| {
+            let mut acc = vars[0].clone();
+            for v in &vars[1..] {
+                acc = Bexpr::or(vec![
+                    Bexpr::and(vec![acc.clone(), Bexpr::not(v.clone())]),
+                    Bexpr::and(vec![Bexpr::not(acc), v.clone()]),
+                ]);
+            }
+            if negate {
+                Bexpr::not(acc)
+            } else {
+                acc
+            }
+        };
+        match self {
+            BenchGate::And => Bexpr::and(vars),
+            BenchGate::Nand => Bexpr::not(Bexpr::and(vars)),
+            BenchGate::Or => Bexpr::or(vars),
+            BenchGate::Nor => Bexpr::not(Bexpr::or(vars)),
+            BenchGate::Xor => parity(false),
+            BenchGate::Xnor => parity(true),
+            BenchGate::Not => Bexpr::not(vars.into_iter().next().expect("unary")),
+            BenchGate::Buf => vars.into_iter().next().expect("unary"),
+        }
+    }
+
+    fn cell_name(self, n: usize) -> String {
+        let base = match self {
+            BenchGate::And => "and",
+            BenchGate::Nand => "nand",
+            BenchGate::Or => "or",
+            BenchGate::Nor => "nor",
+            BenchGate::Xor => "xor",
+            BenchGate::Xnor => "xnor",
+            BenchGate::Not => "not",
+            BenchGate::Buf => "buf",
+        };
+        format!("{base}{n}")
+    }
+}
+
+/// A parsed `sig = GATE(a, b, …)` line.
+struct GateDef {
+    output: String,
+    gate: BenchGate,
+    inputs: Vec<String>,
+}
+
+/// Parses a `.bench` netlist into a combinational [`Network`] of bipolar
+/// (stuck-at-model) cells.
+///
+/// Accepts the standard surface: `#` comments, blank lines,
+/// `INPUT(sig)` / `OUTPUT(sig)` declarations and `sig = GATE(a, …)`
+/// definitions in any order. Gate types: `AND`, `NAND`, `OR`, `NOR`,
+/// `XOR`, `XNOR`, `NOT`, `BUF`/`BUFF` at arbitrary fan-in (unary for
+/// `NOT`/`BUF`).
+///
+/// # Example
+///
+/// ```
+/// use dynmos_netlist::parse_bench;
+///
+/// let net = parse_bench(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n",
+/// ).unwrap();
+/// assert_eq!(net.eval(&[true, true]), vec![false]);
+/// ```
+pub fn parse_bench(text: &str) -> Result<Network, ParseBenchError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defs: Vec<GateDef> = Vec::new();
+
+    for raw in text.lines() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(sig) = section(line, "INPUT") {
+            inputs.push(sig.to_owned());
+            continue;
+        }
+        if let Some(sig) = section(line, "OUTPUT") {
+            outputs.push(sig.to_owned());
+            continue;
+        }
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(ParseBenchError::BadLine(line.to_owned()));
+        };
+        let output = lhs.trim().to_owned();
+        let rhs = rhs.trim();
+        let Some((gate_name, args)) = rhs.split_once('(') else {
+            return Err(ParseBenchError::BadLine(line.to_owned()));
+        };
+        let Some(args) = args.trim().strip_suffix(')') else {
+            return Err(ParseBenchError::BadLine(line.to_owned()));
+        };
+        let gate = BenchGate::parse(gate_name.trim())
+            .ok_or_else(|| ParseBenchError::BadGate(gate_name.trim().to_owned()))?;
+        let operands: Vec<String> = args
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if !gate.arity_ok(operands.len()) {
+            return Err(ParseBenchError::BadArity(output));
+        }
+        defs.push(GateDef {
+            output,
+            gate,
+            inputs: operands,
+        });
+    }
+
+    if inputs.is_empty() || defs.is_empty() {
+        return Err(ParseBenchError::Empty);
+    }
+
+    // Signal table: inputs first, then gate outputs; everything a gate
+    // reads must be one of the two.
+    let mut defined: HashSet<&str> = HashSet::new();
+    for sig in &inputs {
+        if !defined.insert(sig) {
+            return Err(ParseBenchError::Redefined(sig.clone()));
+        }
+    }
+    for d in &defs {
+        if !defined.insert(&d.output) {
+            return Err(ParseBenchError::Redefined(d.output.clone()));
+        }
+    }
+    for d in &defs {
+        for i in &d.inputs {
+            if !defined.contains(i.as_str()) {
+                return Err(ParseBenchError::Undefined(i.clone()));
+            }
+        }
+    }
+    for o in &outputs {
+        if !defined.contains(o.as_str()) {
+            return Err(ParseBenchError::UnknownOutput(o.clone()));
+        }
+    }
+
+    // Build, adding gates in dependency (Kahn) order since definitions
+    // may reference signals defined later in the file.
+    let mut b = NetworkBuilder::new();
+    let mut cells: HashMap<(BenchGate, usize), usize> = HashMap::new();
+    let mut nets: HashMap<String, crate::network::NetId> = HashMap::new();
+    for sig in &inputs {
+        nets.insert(sig.clone(), b.input(sig));
+    }
+    let mut remaining: Vec<usize> = (0..defs.len()).collect();
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain(|&di| {
+            let d = &defs[di];
+            if !d.inputs.iter().all(|i| nets.contains_key(i)) {
+                return true; // still blocked
+            }
+            let cell_idx = *cells.entry((d.gate, d.inputs.len())).or_insert_with(|| {
+                let names: Vec<String> = (0..d.inputs.len()).map(|i| format!("i{i}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                b.add_cell(Cell::from_transmission(
+                    &d.gate.cell_name(d.inputs.len()),
+                    Technology::Bipolar,
+                    &refs,
+                    d.gate.function(d.inputs.len()),
+                ))
+            });
+            let input_nets: Vec<_> = d.inputs.iter().map(|i| nets[i]).collect();
+            let (_, out) = b.gate(cell_idx, &input_nets, &d.output, Phase::Phi1);
+            nets.insert(d.output.clone(), out);
+            progressed = true;
+            false
+        });
+        if !progressed {
+            let blocked = &defs[remaining[0]];
+            return Err(ParseBenchError::Cycle(blocked.output.clone()));
+        }
+    }
+    for o in &outputs {
+        b.mark_output(nets[o]);
+    }
+    Ok(b.finish()?)
+}
+
+fn section<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?;
+    let rest = rest.trim_start();
+    rest.strip_prefix('(')?
+        .trim_end()
+        .strip_suffix(')')
+        .map(str::trim)
+}
+
+/// The ISCAS-85 c17 benchmark, verbatim in `.bench` syntax — the
+/// canonical parser fixture.
+pub const C17_BENCH: &str = "\
+# c17, ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::c17_dynamic_nmos;
+
+    #[test]
+    fn c17_bench_matches_handbuilt_c17() {
+        let parsed = parse_bench(C17_BENCH).expect("fixture parses");
+        let reference = c17_dynamic_nmos();
+        assert_eq!(parsed.primary_inputs().len(), 5);
+        assert_eq!(parsed.primary_outputs().len(), 2);
+        assert_eq!(parsed.gates().len(), 6);
+        for w in 0..32u32 {
+            let pi: Vec<bool> = (0..5).map(|k| (w >> k) & 1 == 1).collect();
+            assert_eq!(parsed.eval(&pi), reference.eval(&pi), "w={w:05b}");
+        }
+    }
+
+    #[test]
+    fn definitions_may_appear_in_any_order() {
+        let net =
+            parse_bench("OUTPUT(z)\nz = AND(m, b)\nm = NOT(a)\nINPUT(a)\nINPUT(b)\n").unwrap();
+        assert_eq!(net.eval(&[false, true]), vec![true]);
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn gate_vocabulary_evaluates_correctly() {
+        let net = parse_bench(
+            "INPUT(a)\nINPUT(b)\n\
+             OUTPUT(o_and)\nOUTPUT(o_nand)\nOUTPUT(o_or)\nOUTPUT(o_nor)\n\
+             OUTPUT(o_xor)\nOUTPUT(o_xnor)\nOUTPUT(o_not)\nOUTPUT(o_buf)\n\
+             o_and = AND(a, b)\no_nand = NAND(a, b)\no_or = OR(a, b)\n\
+             o_nor = NOR(a, b)\no_xor = XOR(a, b)\no_xnor = XNOR(a, b)\n\
+             o_not = NOT(a)\no_buf = BUFF(b)\n",
+        )
+        .unwrap();
+        for (a, bv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = net.eval(&[a, bv]);
+            assert_eq!(
+                out,
+                vec![
+                    a && bv,
+                    !(a && bv),
+                    a || bv,
+                    !(a || bv),
+                    a ^ bv,
+                    !(a ^ bv),
+                    !a,
+                    bv
+                ],
+                "a={a} b={bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_fanin_and_parity_fold() {
+        let net = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\nOUTPUT(p)\n\
+             z = NAND(a, b, c, d)\np = XOR(a, b, c)\n",
+        )
+        .unwrap();
+        assert_eq!(net.eval(&[true, true, true, true]), vec![false, true]);
+        assert_eq!(net.eval(&[true, true, true, false]), vec![true, true]);
+        assert_eq!(net.eval(&[true, true, false, false]), vec![true, false]);
+    }
+
+    #[test]
+    fn shared_cells_per_type_and_arity() {
+        let net = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(x)\nOUTPUT(y)\n\
+             x = NAND(a, b)\ny = NAND(b, c)\n",
+        )
+        .unwrap();
+        assert_eq!(net.cells().len(), 1, "both NAND2s share one cell");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_bench("INPUT(a)\nz = DFF(a)\nOUTPUT(z)\n"),
+            Err(ParseBenchError::BadGate(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a, q)\n"),
+            Err(ParseBenchError::Undefined(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(a)\na = AND(a, b)\n"),
+            Err(ParseBenchError::Redefined(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a, a)\n"),
+            Err(ParseBenchError::BadArity(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(q)\nz = NOT(a)\n"),
+            Err(ParseBenchError::UnknownOutput(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n"),
+            Err(ParseBenchError::Cycle(_))
+        ));
+        assert!(matches!(
+            parse_bench("# nothing\n"),
+            Err(ParseBenchError::Empty)
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz AND a\n"),
+            Err(ParseBenchError::BadLine(_))
+        ));
+    }
+}

@@ -269,6 +269,20 @@ fn bitset_blocks(n: usize) -> usize {
     n.div_ceil(64)
 }
 
+// Thread-safety audit: the parallel fault simulator
+// (`dynmos_protest::parallel`) shares `&Network` and `&PreparedFault`
+// across scoped threads, each worker owning its own `PackedEvaluator`.
+// That is sound because a finished network and its compiled form are
+// immutable owned data with no interior mutability. These assertions turn
+// an accidental `Rc`/`RefCell`/raw-pointer regression into a compile
+// error instead of a data race.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Network>();
+    assert_send_sync::<CompiledNetwork>();
+    assert_send_sync::<PreparedFault<'static>>();
+};
+
 impl CompiledNetwork {
     /// Compiles the network parts. Called by the network builder; the
     /// fields mirror [`Network`]'s internals.

@@ -6,7 +6,7 @@
 //! deterministic in its parameters and seed.
 
 use crate::cell::Cell;
-use crate::network::{Network, NetworkBuilder, Phase};
+use crate::network::{NetId, Network, NetworkBuilder, Phase};
 use crate::parse::parse_cell;
 use crate::tech::Technology;
 use dynmos_logic::Bexpr;
@@ -364,6 +364,168 @@ pub fn bipartite_phases(net: &Network) -> Option<Vec<Phase>> {
     Some(color.into_iter().map(|c| c.expect("all colored")).collect())
 }
 
+/// Builds the bipolar AND2 cell (direct function, stuck-at model).
+pub fn bipolar_and2() -> Cell {
+    parse_cell("and2", "TECHNOLOGY bipolar; INPUT a,b; OUTPUT z; z := a*b;")
+        .expect("static cell text is valid")
+}
+
+/// Builds the bipolar OR2 cell (direct function, stuck-at model).
+pub fn bipolar_or2() -> Cell {
+    parse_cell("or2", "TECHNOLOGY bipolar; INPUT a,b; OUTPUT z; z := a+b;")
+        .expect("static cell text is valid")
+}
+
+/// A ripple-carry adder over two `bits`-wide operands plus a carry-in,
+/// in bipolar XOR/AND/OR cells — 5 gates per bit, so `bits = 80` is an
+/// ISCAS-85-class (c880-scale) network of 400 gates whose per-fault
+/// fanout cones are small relative to the network.
+///
+/// Primary inputs in declaration order: `cin`, then `a0, b0, a1, b1, …`;
+/// primary outputs: `s0 … s{bits-1}`, then `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_adder(bits: usize) -> Network {
+    assert!(bits >= 1, "need at least one bit");
+    let mut b = NetworkBuilder::new();
+    let xor_c = b.add_cell(bipolar_xor2());
+    let and_c = b.add_cell(bipolar_and2());
+    let or_c = b.add_cell(bipolar_or2());
+    let mut carry = b.input("cin");
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let a = b.input(&format!("a{i}"));
+        let bb = b.input(&format!("b{i}"));
+        let (_, axb) = b.gate(xor_c, &[a, bb], &format!("axb{i}"), Phase::Phi1);
+        let (_, sum) = b.gate(xor_c, &[axb, carry], &format!("s{i}"), Phase::Phi1);
+        let (_, gen) = b.gate(and_c, &[a, bb], &format!("gen{i}"), Phase::Phi1);
+        let (_, prop) = b.gate(and_c, &[axb, carry], &format!("prop{i}"), Phase::Phi1);
+        let (_, cout) = b.gate(or_c, &[gen, prop], &format!("c{}", i + 1), Phase::Phi1);
+        sums.push(sum);
+        carry = cout;
+    }
+    for s in sums {
+        b.mark_output(s);
+    }
+    b.mark_output(carry);
+    b.finish().expect("ripple adder is well-formed")
+}
+
+/// The [`ripple_adder`] netlist as ISCAS `.bench` text — a generated
+/// fixture for [`crate::bench_format::parse_bench`] at arbitrary scale.
+pub fn ripple_adder_bench_text(bits: usize) -> String {
+    assert!(bits >= 1, "need at least one bit");
+    let mut out = String::new();
+    out.push_str(&format!("# {bits}-bit ripple-carry adder\n"));
+    out.push_str("INPUT(cin)\n");
+    for i in 0..bits {
+        out.push_str(&format!("INPUT(a{i})\nINPUT(b{i})\n"));
+    }
+    for i in 0..bits {
+        out.push_str(&format!("OUTPUT(s{i})\n"));
+    }
+    out.push_str(&format!("OUTPUT(c{bits})\n"));
+    let mut carry = "cin".to_owned();
+    for i in 0..bits {
+        out.push_str(&format!("axb{i} = XOR(a{i}, b{i})\n"));
+        out.push_str(&format!("s{i} = XOR(axb{i}, {carry})\n"));
+        out.push_str(&format!("gen{i} = AND(a{i}, b{i})\n"));
+        out.push_str(&format!("prop{i} = AND(axb{i}, {carry})\n"));
+        out.push_str(&format!("c{} = OR(gen{i}, prop{i})\n", i + 1));
+        carry = format!("c{}", i + 1);
+    }
+    out
+}
+
+/// An unsigned `bits × bits` array multiplier (the c6288 topology at
+/// parameterized width): `bits²` partial-product AND gates reduced by
+/// rows of ripple-carry adders. `bits = 10` is a 520-gate network.
+///
+/// Primary inputs in declaration order: `a0…a{bits-1}`, `b0…b{bits-1}`;
+/// primary outputs: product bits `p0 … p{2·bits-1}`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn array_multiplier(bits: usize) -> Network {
+    assert!(bits >= 2, "need at least two bits");
+    let mut b = NetworkBuilder::new();
+    let xor_c = b.add_cell(bipolar_xor2());
+    let and_c = b.add_cell(bipolar_and2());
+    let or_c = b.add_cell(bipolar_or2());
+    let a: Vec<_> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let bi: Vec<_> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    // Partial products.
+    let pp: Vec<Vec<NetId>> = (0..bits)
+        .map(|i| {
+            (0..bits)
+                .map(|j| {
+                    let (_, n) = b.gate(and_c, &[a[j], bi[i]], &format!("pp{i}_{j}"), Phase::Phi1);
+                    n
+                })
+                .collect()
+        })
+        .collect();
+    // Row-wise reduction: `acc` holds the running sum of rows 0..=i,
+    // aligned at bit i; each row adds the next partial-product vector
+    // with a chain of half/full adders.
+    let half = |b: &mut NetworkBuilder, x: NetId, y: NetId, tag: &str| -> (NetId, NetId) {
+        let (_, s) = b.gate(xor_c, &[x, y], &format!("hs{tag}"), Phase::Phi1);
+        let (_, c) = b.gate(and_c, &[x, y], &format!("hc{tag}"), Phase::Phi1);
+        (s, c)
+    };
+    let full =
+        |b: &mut NetworkBuilder, x: NetId, y: NetId, z: NetId, tag: &str| -> (NetId, NetId) {
+            let (_, xy) = b.gate(xor_c, &[x, y], &format!("fx{tag}"), Phase::Phi1);
+            let (_, s) = b.gate(xor_c, &[xy, z], &format!("fs{tag}"), Phase::Phi1);
+            let (_, g) = b.gate(and_c, &[x, y], &format!("fg{tag}"), Phase::Phi1);
+            let (_, p) = b.gate(and_c, &[xy, z], &format!("fp{tag}"), Phase::Phi1);
+            let (_, c) = b.gate(or_c, &[g, p], &format!("fc{tag}"), Phase::Phi1);
+            (s, c)
+        };
+    let mut product: Vec<NetId> = Vec::with_capacity(2 * bits);
+    // acc[j] = bit (i + j) of the sum of rows 0..=i.
+    let mut acc: Vec<NetId> = pp[0].clone();
+    product.push(acc[0]);
+    for (i, row) in pp.iter().enumerate().skip(1) {
+        let mut next: Vec<NetId> = Vec::with_capacity(bits);
+        let mut carry: Option<NetId> = None;
+        for (j, &rbit) in row.iter().enumerate() {
+            // Add row bit j to acc[j + 1] (the shifted previous sum); the
+            // top previous bit beyond acc is zero.
+            let prev = acc.get(j + 1).copied();
+            let (s, c) = match (prev, carry) {
+                (Some(pv), Some(cv)) => full(&mut b, rbit, pv, cv, &format!("{i}_{j}")),
+                (Some(pv), None) => half(&mut b, rbit, pv, &format!("{i}_{j}")),
+                (None, Some(cv)) => half(&mut b, rbit, cv, &format!("{i}_{j}")),
+                (None, None) => {
+                    next.push(rbit);
+                    continue;
+                }
+            };
+            next.push(s);
+            carry = Some(c);
+        }
+        if let Some(cv) = carry {
+            next.push(cv);
+        }
+        product.push(next[0]);
+        acc = next;
+    }
+    for &bit in acc.iter().skip(1) {
+        product.push(bit);
+    }
+    // Row 0 contributes `bits` bits and every later row one sum bit plus
+    // a final carry: the reduction always yields exactly 2·bits bits.
+    assert_eq!(product.len(), 2 * bits, "array reduction width");
+    for p in &product {
+        b.mark_output(*p);
+    }
+    b.finish().expect("array multiplier is well-formed")
+}
+
 /// The reference gate of the paper's Fig. 9: `u = a*(b+c) + d*e`, domino
 /// CMOS.
 pub fn fig9_cell() -> Cell {
@@ -514,6 +676,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Packs an integer into the adder's PI order (cin, a0, b0, a1, b1…).
+    fn adder_inputs(bits: usize, a: u64, b: u64, cin: bool) -> Vec<bool> {
+        let mut pi = vec![cin];
+        for i in 0..bits {
+            pi.push((a >> i) & 1 == 1);
+            pi.push((b >> i) & 1 == 1);
+        }
+        pi
+    }
+
+    fn bits_to_u64(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let bits = 6;
+        let net = ripple_adder(bits);
+        assert_eq!(net.gates().len(), 5 * bits);
+        assert_eq!(net.primary_outputs().len(), bits + 1);
+        for (a, b, cin) in [
+            (0u64, 0u64, false),
+            (63, 1, false),
+            (21, 42, true),
+            (63, 63, true),
+        ] {
+            let out = net.eval(&adder_inputs(bits, a, b, cin));
+            let sum = bits_to_u64(&out);
+            assert_eq!(sum, a + b + u64::from(cin), "a={a} b={b} cin={cin}");
+        }
+        // ISCAS-85-class scale: 80 bits = 400 gates.
+        assert_eq!(ripple_adder(80).gates().len(), 400);
+    }
+
+    #[test]
+    fn ripple_adder_bench_text_round_trips() {
+        let bits = 8;
+        let direct = ripple_adder(bits);
+        let parsed = crate::bench_format::parse_bench(&ripple_adder_bench_text(bits))
+            .expect("generated bench text parses");
+        assert_eq!(parsed.gates().len(), direct.gates().len());
+        for (a, b, cin) in [
+            (0u64, 0, false),
+            (255, 1, false),
+            (170, 85, true),
+            (200, 100, false),
+        ] {
+            let pi = adder_inputs(bits, a, b, cin);
+            assert_eq!(parsed.eval(&pi), direct.eval(&pi), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn array_multiplier_multiplies() {
+        for bits in [2usize, 3, 4, 5] {
+            let net = array_multiplier(bits);
+            assert_eq!(net.primary_outputs().len(), 2 * bits);
+            for (a, b) in [
+                (0u64, 0u64),
+                (1, 1),
+                (3, 3),
+                ((1 << bits) - 1, (1 << bits) - 1),
+                (2, 3),
+            ] {
+                let a = a & ((1 << bits) - 1);
+                let b = b & ((1 << bits) - 1);
+                let mut pi = Vec::new();
+                for i in 0..bits {
+                    pi.push((a >> i) & 1 == 1);
+                }
+                for i in 0..bits {
+                    pi.push((b >> i) & 1 == 1);
+                }
+                let out = net.eval(&pi);
+                assert_eq!(bits_to_u64(&out), a * b, "bits={bits} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn array_multiplier_reaches_iscas_scale() {
+        // The c6288 topology: at 10 bits the network passes 500 gates
+        // (520), and a typical fault cone is small relative to the whole.
+        let net = array_multiplier(10);
+        assert!(net.gates().len() >= 500, "{} gates", net.gates().len());
+        let c = net.compiled();
+        let mut cones: Vec<usize> = (0..net.gates().len())
+            .map(|i| c.fanout_cone(crate::network::GateRef(i as u32)).len())
+            .collect();
+        cones.sort_unstable();
+        // The median fault replays ~a quarter of the network, the best
+        // quartile under a tenth — cone-incremental simulation pays here.
+        assert!(cones[cones.len() / 2] < net.gates().len() / 3);
+        assert!(cones[cones.len() / 4] < net.gates().len() / 8);
     }
 
     #[test]

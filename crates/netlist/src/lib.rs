@@ -28,9 +28,13 @@
 //!   instruction tapes, reusable [`PackedEvaluator`] buffers (up to
 //!   `width × 64` patterns per pass) and fault-cone incremental faulty
 //!   simulation,
-//! * [`generate`] — a seeded circuit corpus (adders, trees, comparators,
-//!   random cells) standing in for the unspecified 1986 benchmark set.
+//! * [`generate`] — a seeded circuit corpus (adders, multipliers, trees,
+//!   comparators, random cells) from paper scale up to ISCAS-85-class
+//!   sizes, standing in for the unspecified 1986 benchmark set,
+//! * [`bench_format`] — a parser for the ISCAS `.bench` netlist text
+//!   format, so real benchmark circuits can be loaded directly.
 
+pub mod bench_format;
 pub mod cell;
 pub mod compile;
 pub mod generate;
@@ -39,6 +43,7 @@ pub mod parse;
 pub mod tech;
 pub mod to_switch;
 
+pub use bench_format::{parse_bench, ParseBenchError, C17_BENCH};
 pub use cell::{Cell, CellDescription, CompileCellError};
 pub use compile::{CompiledNetwork, PackedEvaluator, PreparedFault};
 pub use network::{GateRef, NetId, Network, NetworkBuilder, NetworkError, NetworkFault, Phase};

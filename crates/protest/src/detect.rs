@@ -13,6 +13,7 @@
 //! objective evaluations.
 
 use crate::list::FaultEntry;
+use crate::parallel::{run_sharded, Parallelism};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator, PreparedFault};
 
 /// Exact detection probability of one fault by weighted exhaustive
@@ -81,14 +82,20 @@ pub struct ExactDetector<'n> {
     net: &'n Network,
     ev: PackedEvaluator<'n>,
     prepared: Vec<PreparedFault<'n>>,
+    parallelism: Parallelism,
     /// Scratch: packed PI words for the current batch.
     pi_words: Vec<u64>,
     /// Scratch: per-lane assignment weight.
     weights: [f64; 64],
 }
 
+/// Enumeration becomes worth sharding once the per-worker setup (an
+/// evaluator allocation) is dwarfed by the row walk.
+const PARALLEL_ROWS_MIN: u64 = 1 << 12;
+
 impl<'n> ExactDetector<'n> {
-    /// A detector for a fault list.
+    /// A detector for a fault list, with the default thread policy
+    /// ([`Parallelism::Auto`]).
     pub fn new(net: &'n Network, faults: &[FaultEntry]) -> Self {
         Self::for_faults_iter(net, faults.iter().map(|e| &e.fault))
     }
@@ -96,6 +103,14 @@ impl<'n> ExactDetector<'n> {
     /// A detector for bare faults (no list metadata).
     pub fn for_faults(net: &'n Network, faults: &[NetworkFault]) -> Self {
         Self::for_faults_iter(net, faults.iter())
+    }
+
+    /// Sets the thread policy for subsequent [`Self::probabilities`]
+    /// calls. The fault list is sharded over workers; every fault's
+    /// weight sum is accumulated in row order by one worker, so results
+    /// are bit-identical at any thread count.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     fn for_faults_iter<'f>(
@@ -106,6 +121,7 @@ impl<'n> ExactDetector<'n> {
             net,
             ev: PackedEvaluator::new(net),
             prepared: faults.map(|f| net.prepare_fault(f)).collect(),
+            parallelism: Parallelism::default(),
             pi_words: vec![0; net.primary_inputs().len()],
             weights: [0.0; 64],
         }
@@ -113,7 +129,8 @@ impl<'n> ExactDetector<'n> {
 
     /// Exact detection probability of every fault under independent
     /// per-input probabilities `pi_probs`, by one weighted exhaustive
-    /// enumeration of the input space.
+    /// enumeration of the input space (sharded over worker threads when
+    /// the row space is large enough to pay for them).
     ///
     /// # Panics
     ///
@@ -124,42 +141,36 @@ impl<'n> ExactDetector<'n> {
         assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
         assert_eq!(pi_probs.len(), n, "need one probability per primary input");
         let rows = 1u64 << n;
-        let mut totals = vec![0.0f64; self.prepared.len()];
-        let mut row = 0u64;
-        while row < rows {
-            let lanes = (rows - row).min(64);
-            self.pi_words.fill(0);
-            for lane in 0..lanes {
-                let assignment = row + lane;
-                for (i, w) in self.pi_words.iter_mut().enumerate() {
-                    if (assignment >> i) & 1 == 1 {
-                        *w |= 1 << lane;
-                    }
-                }
-                let mut weight = 1.0;
-                for (i, &p) in pi_probs.iter().enumerate() {
-                    weight *= if (assignment >> i) & 1 == 1 {
-                        p
-                    } else {
-                        1.0 - p
-                    };
-                }
-                self.weights[lane as usize] = weight;
-            }
-            self.ev.eval(&self.pi_words);
-            for (fi, prepared) in self.prepared.iter().enumerate() {
-                let mut differ = self.ev.fault_diff64(prepared);
-                if lanes < 64 {
-                    differ &= (1u64 << lanes) - 1;
-                }
-                while differ != 0 {
-                    let lane = differ.trailing_zeros() as usize;
-                    totals[fi] += self.weights[lane];
-                    differ &= differ - 1;
-                }
-            }
-            row += lanes;
-        }
+        let threads = self.parallelism.resolve().min(self.prepared.len().max(1));
+        let mut totals = if threads > 1 && rows >= PARALLEL_ROWS_MIN && self.prepared.len() > 1 {
+            let net = self.net;
+            let prepared = &self.prepared;
+            run_sharded(prepared.len(), threads, |range| {
+                let mut ev = PackedEvaluator::new(net);
+                let mut pi_words = vec![0u64; n];
+                let mut weights = [0.0f64; 64];
+                enumerate_totals(
+                    &prepared[range],
+                    pi_probs,
+                    rows,
+                    &mut ev,
+                    &mut pi_words,
+                    &mut weights,
+                )
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            enumerate_totals(
+                &self.prepared,
+                pi_probs,
+                rows,
+                &mut self.ev,
+                &mut self.pi_words,
+                &mut self.weights,
+            )
+        };
         // Summing 2^n weights accumulates ulp-scale error; clamp to [0,1]
         // so downstream validation (test_length) never sees 1.0 + epsilon.
         for t in &mut totals {
@@ -167,6 +178,56 @@ impl<'n> ExactDetector<'n> {
         }
         totals
     }
+}
+
+/// One weighted row-space walk for a shard of prepared faults. Every
+/// fault's total is accumulated in ascending row order, so the result
+/// does not depend on how the fault list was sharded.
+fn enumerate_totals(
+    prepared: &[PreparedFault<'_>],
+    pi_probs: &[f64],
+    rows: u64,
+    ev: &mut PackedEvaluator<'_>,
+    pi_words: &mut [u64],
+    weights: &mut [f64; 64],
+) -> Vec<f64> {
+    let mut totals = vec![0.0f64; prepared.len()];
+    let mut row = 0u64;
+    while row < rows {
+        let lanes = (rows - row).min(64);
+        pi_words.fill(0);
+        for lane in 0..lanes {
+            let assignment = row + lane;
+            for (i, w) in pi_words.iter_mut().enumerate() {
+                if (assignment >> i) & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+            let mut weight = 1.0;
+            for (i, &p) in pi_probs.iter().enumerate() {
+                weight *= if (assignment >> i) & 1 == 1 {
+                    p
+                } else {
+                    1.0 - p
+                };
+            }
+            weights[lane as usize] = weight;
+        }
+        ev.eval(pi_words);
+        for (fi, prepared) in prepared.iter().enumerate() {
+            let mut differ = ev.fault_diff64(prepared);
+            if lanes < 64 {
+                differ &= (1u64 << lanes) - 1;
+            }
+            while differ != 0 {
+                let lane = differ.trailing_zeros() as usize;
+                totals[fi] += weights[lane];
+                differ &= differ - 1;
+            }
+        }
+        row += lanes;
+    }
+    totals
 }
 
 #[cfg(test)]
@@ -252,6 +313,21 @@ mod tests {
         let p_high = exact_detection_probability(&net, &fault, &[0.1, 0.5, 0.5, 0.5]);
         // Setting x0=0 more often makes the s-a-1 easier to see.
         assert!(p_high > p_low);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_probabilities() {
+        // 13 inputs -> 8192 rows, above the parallel threshold.
+        let net = single_cell_network(domino_wide_and(13));
+        let list = network_fault_list(&net);
+        let probs: Vec<f64> = (0..13).map(|i| 0.25 + 0.05 * (i % 10) as f64).collect();
+        let mut det = ExactDetector::new(&net, &list);
+        det.set_parallelism(Parallelism::Serial);
+        let serial = det.probabilities(&probs);
+        for threads in [2usize, 4, 8] {
+            det.set_parallelism(Parallelism::Fixed(threads));
+            assert_eq!(det.probabilities(&probs), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Static fault simulation, 64-way pattern-parallel.
+//! Static fault simulation, 64-way pattern-parallel and fault-sharded
+//! across threads.
 //!
 //! "Since we are only dealing with combinational networks, a static fault
 //! simulation is sufficient, if the user wants to validate the predictions
@@ -13,8 +14,15 @@
 //! — only its fanout cone's tape slice, comparing only the primary
 //! outputs the cone reaches ([`dynmos_netlist::PackedEvaluator`]). Fault
 //! dropping removes detected faults from the live list.
+//!
+//! On top of that, [`FaultSimulator::run_random`] shards the fault list
+//! over worker threads ([`crate::parallel`]): each worker owns an
+//! evaluator and replays the counter-based pattern stream for its shard,
+//! so the outcome is **bit-identical to the serial run at any thread
+//! count** (see the determinism contract in [`crate::parallel`]).
 
 use crate::list::FaultEntry;
+use crate::parallel::{run_sharded, Parallelism};
 use crate::random::PatternSource;
 use dynmos_netlist::{Network, PackedEvaluator};
 
@@ -48,22 +56,64 @@ impl FsimOutcome {
     }
 }
 
-/// Serial-fault, pattern-parallel fault simulator with fault dropping.
+/// Reconstructs the per-batch coverage curve from detection indices: the
+/// count at pattern budget `t` is exactly the number of faults with
+/// `detected_at <= t`, which is what the serial loop accumulates batch by
+/// batch.
+fn curve_from(detected_at: &[Option<u64>], patterns_applied: u64) -> Vec<(u64, usize)> {
+    let mut sorted: Vec<u64> = detected_at.iter().flatten().copied().collect();
+    sorted.sort_unstable();
+    let mut curve = Vec::with_capacity(patterns_applied.div_ceil(64) as usize);
+    let mut applied = 0u64;
+    while applied < patterns_applied {
+        applied += (patterns_applied - applied).min(64);
+        let detected = sorted.partition_point(|&d| d <= applied);
+        curve.push((applied, detected));
+    }
+    curve
+}
+
+/// Per-shard result of [`FaultSimulator::random_shard`].
+struct ShardOutcome {
+    detected_at: Vec<Option<u64>>,
+    /// Batches this shard consumed before its live list emptied (or the
+    /// budget ran out).
+    batches: u64,
+}
+
+/// Serial-fault, pattern-parallel fault simulator with fault dropping and
+/// optional fault-sharded multithreading.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'n> {
     net: &'n Network,
+    parallelism: Parallelism,
 }
 
 impl<'n> FaultSimulator<'n> {
-    /// Creates a simulator for `net`.
+    /// Creates a simulator for `net` with the default parallelism
+    /// ([`Parallelism::Auto`]: all available cores — safe, because the
+    /// parallel path is bit-identical to the serial one).
     pub fn new(net: &'n Network) -> Self {
-        Self { net }
+        Self::with_parallelism(net, Parallelism::default())
+    }
+
+    /// Creates a simulator with an explicit thread policy.
+    pub fn with_parallelism(net: &'n Network, parallelism: Parallelism) -> Self {
+        Self { net, parallelism }
+    }
+
+    /// The configured thread policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs random patterns from `source` until all faults are detected or
     /// `max_patterns` have been applied. The final batch is lane-masked,
     /// so `patterns_applied` and detection indices never exceed
     /// `max_patterns` even when it is not a multiple of 64.
+    ///
+    /// The fault list is sharded over worker threads; the result (and the
+    /// source's final cursor) is bit-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -79,6 +129,46 @@ impl<'n> FaultSimulator<'n> {
             self.net.primary_inputs().len(),
             "pattern source arity mismatch"
         );
+        if faults.is_empty() {
+            return FsimOutcome {
+                detected_at: Vec::new(),
+                patterns_applied: 0,
+                coverage_curve: Vec::new(),
+            };
+        }
+        let start = source.position();
+        let threads = self.parallelism.resolve();
+        let src: &PatternSource = source;
+        let shards = run_sharded(faults.len(), threads, |range| {
+            self.random_shard(&faults[range], src, start, max_patterns)
+        });
+        let mut detected_at = Vec::with_capacity(faults.len());
+        let mut batches = 0u64;
+        for shard in shards {
+            detected_at.extend(shard.detected_at);
+            batches = batches.max(shard.batches);
+        }
+        // The global run stops when the *last* shard's live list empties:
+        // the pattern count is the maximum over shards, exactly what the
+        // serial loop applies before its global live list empties.
+        let patterns_applied = (batches * 64).min(max_patterns);
+        source.set_position(start + batches);
+        FsimOutcome {
+            coverage_curve: curve_from(&detected_at, patterns_applied),
+            detected_at,
+            patterns_applied,
+        }
+    }
+
+    /// The serial kernel over one fault shard, replaying the stream from
+    /// batch `start`.
+    fn random_shard(
+        &self,
+        faults: &[FaultEntry],
+        source: &PatternSource,
+        start: u64,
+        max_patterns: u64,
+    ) -> ShardOutcome {
         let mut ev = PackedEvaluator::new(self.net);
         let prepared: Vec<_> = faults
             .iter()
@@ -86,11 +176,11 @@ impl<'n> FaultSimulator<'n> {
             .collect();
         let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
         let mut live: Vec<usize> = (0..faults.len()).collect();
-        let mut detected = 0usize;
         let mut applied = 0u64;
-        let mut curve = Vec::new();
+        let mut batches = 0u64;
+        let mut batch = vec![0u64; source.input_count()];
         while !live.is_empty() && applied < max_patterns {
-            let batch = source.next_batch();
+            source.fill_batch_at(start + batches, &mut batch);
             ev.eval(&batch);
             let lanes = (max_patterns - applied).min(64);
             let lanes_mask = if lanes == 64 {
@@ -103,19 +193,17 @@ impl<'n> FaultSimulator<'n> {
                 if differ != 0 {
                     let first_lane = differ.trailing_zeros() as u64;
                     detected_at[fi] = Some(applied + first_lane + 1);
-                    detected += 1;
                     false // drop
                 } else {
                     true
                 }
             });
             applied += lanes;
-            curve.push((applied, detected));
+            batches += 1;
         }
-        FsimOutcome {
+        ShardOutcome {
             detected_at,
-            patterns_applied: applied,
-            coverage_curve: curve,
+            batches,
         }
     }
 
@@ -301,5 +389,38 @@ mod tests {
         for d in out.detected_at.iter().flatten() {
             assert!(*d >= 1 && *d <= out.patterns_applied);
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let mut serial_src = PatternSource::uniform(23, 5);
+        let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &faults,
+            &mut serial_src,
+            4096,
+        );
+        for threads in [2usize, 3, 8] {
+            let mut src = PatternSource::uniform(23, 5);
+            let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
+            let out = sim.run_random(&faults, &mut src, 4096);
+            assert_eq!(out.detected_at, serial.detected_at, "threads={threads}");
+            assert_eq!(out.patterns_applied, serial.patterns_applied);
+            assert_eq!(out.coverage_curve, serial.coverage_curve);
+            assert_eq!(src.position(), serial_src.position());
+        }
+    }
+
+    #[test]
+    fn run_random_advances_source_cursor() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let mut src = PatternSource::uniform(2, 5);
+        let sim = FaultSimulator::new(&net);
+        let first = sim.run_random(&faults, &mut src, 256);
+        // The cursor moved past the consumed batches, so a second run
+        // sees fresh patterns.
+        assert_eq!(src.position(), first.patterns_applied.div_ceil(64));
     }
 }

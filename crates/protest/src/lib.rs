@@ -13,9 +13,13 @@
 //! 4. **optimizes the input signal probabilities**, "reducing the
 //!    necessary test length by orders of magnitudes"
 //!    ([`optimize_input_probabilities`]),
-//! 5. generates weighted **random patterns** ([`PatternSource`]), and
+//! 5. generates weighted **random patterns** ([`PatternSource`]: a
+//!    splittable counter-based stream with bit-sliced weighting — one
+//!    threshold cascade per 64 lanes instead of 64 Bernoulli draws), and
 //! 6. validates predictions by **static fault simulation**
-//!    ([`FaultSimulator`], 64-way pattern-parallel).
+//!    ([`FaultSimulator`], 64-way pattern-parallel and fault-sharded
+//!    across threads — see [`parallel`] for the determinism contract:
+//!    same seed ⇒ same result at any thread count).
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@ pub mod length;
 pub mod list;
 pub mod montecarlo;
 pub mod optimize;
+pub mod parallel;
 pub mod random;
 pub mod symbolic;
 
@@ -46,11 +51,15 @@ pub use detect::{detection_probabilities, exact_detection_probability, ExactDete
 pub use estimate::{exact_signal_probability, signal_probabilities};
 pub use fsim::{FaultSimulator, FsimOutcome};
 pub use length::{escape_probability, test_length, test_length_per_fault};
-pub use list::{network_fault_list, FaultEntry};
+pub use list::{network_fault_list, stuck_fault_list, FaultEntry};
 pub use montecarlo::{
-    mc_detection_probabilities, mc_detection_probability, mc_signal_probability, Estimate,
+    mc_detection_probabilities, mc_detection_probabilities_par, mc_detection_probability,
+    mc_signal_probability, mc_signal_probability_par, Estimate,
 };
-pub use optimize::{optimize_input_probabilities, OptimizeReport};
+pub use optimize::{
+    optimize_input_probabilities, optimize_input_probabilities_par, OptimizeReport,
+};
+pub use parallel::{run_sharded, shard_ranges, Parallelism};
 pub use random::PatternSource;
 pub use symbolic::{
     bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,

@@ -70,6 +70,30 @@ pub fn network_fault_list(net: &Network) -> Vec<FaultEntry> {
     out
 }
 
+/// Builds the classic single-stuck-at fault list: stuck-at-0/1 on every
+/// net (primary inputs and gate outputs alike), with no per-cell fault
+/// library generation.
+///
+/// This is the fault model of the ISCAS benchmark tradition and the right
+/// list for the large generated circuits
+/// ([`dynmos_netlist::generate::ripple_adder`] and friends), where
+/// running switch-level library extraction per gate would dominate the
+/// experiment being measured.
+pub fn stuck_fault_list(net: &Network) -> Vec<FaultEntry> {
+    let mut out = Vec::with_capacity(net.net_count() * 2);
+    for net_idx in 0..net.net_count() {
+        let id = dynmos_netlist::NetId(net_idx as u32);
+        for value in [false, true] {
+            out.push(FaultEntry {
+                label: format!("{}/s-a-{}", net.net_name(id), u8::from(value)),
+                fault: NetworkFault::NetStuck(id, value),
+                at_speed_only: false,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +123,20 @@ mod tests {
         assert_eq!(gate_entries, 3 * 4);
         let pi_entries = list.iter().filter(|e| e.label.starts_with("pi")).count();
         assert_eq!(pi_entries, 8);
+    }
+
+    #[test]
+    fn stuck_list_covers_every_net_twice() {
+        let net = c17_dynamic_nmos();
+        let list = stuck_fault_list(&net);
+        assert_eq!(list.len(), net.net_count() * 2);
+        let mut labels: Vec<&str> = list.iter().map(|e| e.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), list.len(), "labels must be unique");
+        assert!(list
+            .iter()
+            .all(|e| matches!(e.fault, NetworkFault::NetStuck(_, _))));
     }
 
     #[test]

@@ -7,8 +7,16 @@
 //! random patterns with the pattern-parallel evaluator and report the
 //! observed frequency together with a normal-approximation confidence
 //! half-width, so PROTEST's test-length stage can keep working at scale.
+//!
+//! Both estimators are thread-sharded ([`crate::parallel`]) over the
+//! counter-based pattern stream: detection estimation shards the *fault
+//! list* (each worker owns an evaluator and replays the whole stream for
+//! its shard), signal estimation shards the *sample range* (hit counts
+//! over disjoint lane ranges add exactly). Either way the estimates are
+//! bit-identical to the serial path at any thread count.
 
 use crate::list::FaultEntry;
+use crate::parallel::{run_sharded, Parallelism};
 use crate::random::PatternSource;
 use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
 
@@ -43,7 +51,17 @@ fn estimate_from_counts(hits: u64, samples: u64) -> Estimate {
     }
 }
 
-/// Monte Carlo signal probability of one net under weighted inputs.
+/// Lane mask for the samples still owed after `drawn` of `samples`.
+fn tail_mask(drawn: u64, samples: u64) -> u64 {
+    match (samples - drawn).min(64) {
+        64 => u64::MAX,
+        0 => 0,
+        l => (1u64 << l) - 1,
+    }
+}
+
+/// Monte Carlo signal probability of one net under weighted inputs, with
+/// the default thread policy ([`Parallelism::Auto`]).
 ///
 /// # Panics
 ///
@@ -67,28 +85,45 @@ pub fn mc_signal_probability(
     seed: u64,
     samples: u64,
 ) -> Estimate {
+    mc_signal_probability_par(net, target, pi_probs, seed, samples, Parallelism::default())
+}
+
+/// [`mc_signal_probability`] with an explicit thread policy. Samples are
+/// sharded over workers; the estimate is identical at any thread count.
+pub fn mc_signal_probability_par(
+    net: &Network,
+    target: NetId,
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+    parallelism: Parallelism,
+) -> Estimate {
     assert!(samples > 0, "need at least one sample");
-    let mut src = PatternSource::new(seed, pi_probs.to_vec());
-    let mut ev = PackedEvaluator::with_width(net, WIDTH);
-    let mut hits = 0u64;
-    let mut drawn = 0u64;
-    while drawn < samples {
-        let batch = src.next_batch_wide(WIDTH);
-        let values = ev.eval(&batch);
-        for w in 0..WIDTH {
-            if drawn >= samples {
-                break;
+    let src = PatternSource::new(seed, pi_probs.to_vec());
+    // One evaluator pass covers WIDTH * 64 samples.
+    let passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
+    let threads = parallelism.resolve();
+    let hits: u64 = run_sharded(passes, threads, |pass_range| {
+        let mut ev = PackedEvaluator::with_width(net, WIDTH);
+        let mut batch = vec![0u64; src.input_count() * WIDTH];
+        let mut hits = 0u64;
+        for pass in pass_range {
+            let first_batch = pass as u64 * WIDTH as u64;
+            src.fill_batch_wide_at(first_batch, WIDTH, &mut batch);
+            let values = ev.eval(&batch);
+            for w in 0..WIDTH {
+                let drawn = (first_batch + w as u64) * 64;
+                if drawn >= samples {
+                    break;
+                }
+                let mask = tail_mask(drawn, samples);
+                hits += (values[target.index() * WIDTH + w] & mask).count_ones() as u64;
             }
-            let lanes = (samples - drawn).min(64);
-            let mask = if lanes == 64 {
-                u64::MAX
-            } else {
-                (1u64 << lanes) - 1
-            };
-            hits += (values[target.index() * WIDTH + w] & mask).count_ones() as u64;
-            drawn += lanes;
         }
-    }
+        hits
+    })
+    .into_iter()
+    .sum();
     estimate_from_counts(hits, samples)
 }
 
@@ -104,15 +139,23 @@ pub fn mc_detection_probability(
     seed: u64,
     samples: u64,
 ) -> Estimate {
-    mc_detection_core(net, std::slice::from_ref(fault), pi_probs, seed, samples)
-        .pop()
-        .expect("one estimate per fault")
+    mc_detection_core(
+        net,
+        std::slice::from_ref(fault),
+        pi_probs,
+        seed,
+        samples,
+        Parallelism::default(),
+    )
+    .pop()
+    .expect("one estimate per fault")
 }
 
 /// Monte Carlo detection probabilities for a whole list (one estimate per
 /// entry), sharing one pattern stream across faults so estimates are
 /// comparable — and sharing each batch's good-machine evaluation, so the
-/// marginal cost per fault is its fanout cone, not the network.
+/// marginal cost per fault is its fanout cone, not the network. Uses the
+/// default thread policy ([`Parallelism::Auto`]).
 pub fn mc_detection_probabilities(
     net: &Network,
     faults: &[FaultEntry],
@@ -120,8 +163,22 @@ pub fn mc_detection_probabilities(
     seed: u64,
     samples: u64,
 ) -> Vec<Estimate> {
+    mc_detection_probabilities_par(net, faults, pi_probs, seed, samples, Parallelism::default())
+}
+
+/// [`mc_detection_probabilities`] with an explicit thread policy. The
+/// fault list is sharded over workers replaying the same counter-based
+/// stream; estimates are identical at any thread count.
+pub fn mc_detection_probabilities_par(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+    parallelism: Parallelism,
+) -> Vec<Estimate> {
     let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
-    mc_detection_core(net, &faults, pi_probs, seed, samples)
+    mc_detection_core(net, &faults, pi_probs, seed, samples, parallelism)
 }
 
 fn mc_detection_core(
@@ -130,40 +187,48 @@ fn mc_detection_core(
     pi_probs: &[f64],
     seed: u64,
     samples: u64,
+    parallelism: Parallelism,
 ) -> Vec<Estimate> {
     assert!(samples > 0, "need at least one sample");
     if faults.is_empty() {
         return Vec::new();
     }
-    let mut src = PatternSource::new(seed, pi_probs.to_vec());
-    let mut ev = PackedEvaluator::with_width(net, WIDTH);
-    let prepared: Vec<_> = faults.iter().map(|f| net.prepare_fault(f)).collect();
-    let mut hits = vec![0u64; faults.len()];
-    let mut diff = vec![0u64; WIDTH];
-    let mut masks = [0u64; WIDTH];
-    let mut drawn = 0u64;
-    while drawn < samples {
-        let batch = src.next_batch_wide(WIDTH);
-        ev.eval(&batch);
-        let mut pass_drawn = 0u64;
-        for mask in &mut masks {
-            let lanes = (samples - drawn - pass_drawn).min(64);
-            *mask = match lanes {
-                64 => u64::MAX,
-                0 => 0,
-                l => (1u64 << l) - 1,
-            };
-            pass_drawn += lanes;
-        }
-        for (fi, p) in prepared.iter().enumerate() {
-            ev.fault_diff(p, &mut diff);
-            for (d, m) in diff.iter().zip(&masks) {
-                hits[fi] += (d & m).count_ones() as u64;
+    let src = PatternSource::new(seed, pi_probs.to_vec());
+    let threads = parallelism.resolve();
+    let shards = run_sharded(faults.len(), threads, |fault_range| {
+        let prepared: Vec<_> = faults[fault_range]
+            .iter()
+            .map(|f| net.prepare_fault(f))
+            .collect();
+        let mut ev = PackedEvaluator::with_width(net, WIDTH);
+        let mut batch = vec![0u64; src.input_count() * WIDTH];
+        let mut hits = vec![0u64; prepared.len()];
+        let mut diff = vec![0u64; WIDTH];
+        let mut masks = [0u64; WIDTH];
+        let mut drawn = 0u64;
+        let mut wide_pass = 0u64;
+        while drawn < samples {
+            src.fill_batch_wide_at(wide_pass * WIDTH as u64, WIDTH, &mut batch);
+            ev.eval(&batch);
+            let mut pass_drawn = 0u64;
+            for mask in &mut masks {
+                *mask = tail_mask(drawn + pass_drawn, samples);
+                pass_drawn += (samples - drawn - pass_drawn).min(64);
             }
+            for (fi, p) in prepared.iter().enumerate() {
+                ev.fault_diff(p, &mut diff);
+                for (d, m) in diff.iter().zip(&masks) {
+                    hits[fi] += (d & m).count_ones() as u64;
+                }
+            }
+            drawn += pass_drawn;
+            wide_pass += 1;
         }
-        drawn += pass_drawn;
-    }
-    hits.into_iter()
+        hits
+    });
+    shards
+        .into_iter()
+        .flatten()
         .map(|h| estimate_from_counts(h, samples))
         .collect()
 }
@@ -257,6 +322,25 @@ mod tests {
         let est = mc_signal_probability(&net, po, &[0.5; 5], 1, 1_000);
         assert_eq!(est.samples, 1_000);
         assert!(est.value >= 0.0 && est.value <= 1.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_estimates() {
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let probs = vec![0.25, 0.5, 0.9375, 0.5, 0.75];
+        let serial =
+            mc_detection_probabilities_par(&net, &faults, &probs, 7, 10_123, Parallelism::Serial);
+        let po = net.primary_outputs()[0];
+        let sig_serial =
+            mc_signal_probability_par(&net, po, &probs, 7, 10_123, Parallelism::Serial);
+        for threads in [2usize, 4, 8] {
+            let par = Parallelism::Fixed(threads);
+            let est = mc_detection_probabilities_par(&net, &faults, &probs, 7, 10_123, par);
+            assert_eq!(est, serial, "threads={threads}");
+            let sig = mc_signal_probability_par(&net, po, &probs, 7, 10_123, par);
+            assert_eq!(sig, sig_serial, "threads={threads}");
+        }
     }
 
     #[test]

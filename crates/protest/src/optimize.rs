@@ -10,11 +10,15 @@
 //! cyclic coordinate descent over a discrete probability grid — robust,
 //! derivative-free, and more than enough to reproduce the orders-of-
 //! magnitude effect on the paper-scale circuits (the objective is exact,
-//! via exhaustive detection probabilities).
+//! via exhaustive detection probabilities). The objective's enumeration
+//! engine is thread-sharded over the fault list ([`crate::parallel`]),
+//! so the descent — hundreds of objective evaluations — scales with
+//! cores while staying bit-identical at any thread count.
 
 use crate::detect::ExactDetector;
 use crate::length::test_length;
 use crate::list::FaultEntry;
+use crate::parallel::Parallelism;
 use dynmos_netlist::Network;
 
 /// Result of an optimization run.
@@ -79,11 +83,25 @@ pub fn optimize_input_probabilities(
     confidence: f64,
     max_sweeps: usize,
 ) -> OptimizeReport {
+    optimize_input_probabilities_par(net, faults, confidence, max_sweeps, Parallelism::default())
+}
+
+/// [`optimize_input_probabilities`] with an explicit thread policy for
+/// the objective's enumeration engine. The report is identical at any
+/// thread count.
+pub fn optimize_input_probabilities_par(
+    net: &Network,
+    faults: &[FaultEntry],
+    confidence: f64,
+    max_sweeps: usize,
+    parallelism: Parallelism,
+) -> OptimizeReport {
     let n = net.primary_inputs().len();
     let mut probs = vec![0.5f64; n];
     // One detector (compiled evaluator + prepared faults) serves every
     // objective evaluation of the descent.
     let mut detector = ExactDetector::new(net, faults);
+    detector.set_parallelism(parallelism);
     let mut objective =
         |probs: &[f64]| -> u64 { test_length(&detector.probabilities(probs), confidence) };
     let uniform_length = objective(&probs);

@@ -1,0 +1,170 @@
+//! Thread-sharded execution of the PROTEST kernels.
+//!
+//! The PR-1 compiled kernel split network evaluation into a shared
+//! immutable [`dynmos_netlist::CompiledNetwork`] and per-caller
+//! [`dynmos_netlist::PackedEvaluator`] buffers, which makes fault-level
+//! parallelism embarrassingly simple: give every worker its own evaluator
+//! over a **disjoint slice of the fault list** and let it replay the same
+//! pattern stream. No locks, no shared mutable state — the only
+//! synchronization is the final merge of per-shard counters.
+//!
+//! # Determinism contract
+//!
+//! Every parallel entry point in this crate is **bit-identical to its
+//! serial form at any thread count**: same seed ⇒ same detection
+//! indices, same coverage curve, same escape set, same Monte Carlo
+//! estimates. Two design rules make this hold:
+//!
+//! 1. the pattern stream is counter-based ([`crate::PatternSource`]:
+//!    batch `b` is a pure function of `(seed, b)`), so workers regenerate
+//!    identical patterns instead of racing over one RNG; and
+//! 2. work is sharded **by fault, never by accumulator**: every
+//!    per-fault quantity (detection index, hit count, exact probability
+//!    sum) is computed start-to-finish by one worker in the same order
+//!    the serial loop uses, so even floating-point sums associate
+//!    identically.
+//!
+//! # `Send`/`Sync` requirements
+//!
+//! Workers share `&Network` and `&PreparedFault` across
+//! [`std::thread::scope`] spawns, which requires the compiled network
+//! types to be `Sync`. They are: a finished [`dynmos_netlist::Network`]
+//! (cells, instruction tape, fanout cones) is immutable owned data with
+//! no interior mutability — `crates/netlist/src/compile.rs` carries
+//! compile-time assertions pinning `Network`, `CompiledNetwork` and
+//! `PreparedFault` to `Send + Sync` so a regression fails the build, not
+//! a run.
+
+use std::ops::Range;
+
+/// How many worker threads a PROTEST kernel may use.
+///
+/// The default is [`Parallelism::Auto`]: all available cores, overridable
+/// with the `DYNMOS_THREADS` environment variable (the knob CI uses to
+/// force the parallel path on small runners).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded, in the calling thread.
+    Serial,
+    /// Exactly this many workers (clamped to at least 1).
+    Fixed(usize),
+    /// `DYNMOS_THREADS` if set, otherwise every available core.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count (always at least 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::env::var("DYNMOS_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        }
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous, balanced, non-empty ranges
+/// (fewer than `parts` when `n < parts`; empty when `n == 0`).
+pub fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `worker` over the shards of `0..n` on up to `threads` scoped
+/// threads and returns the per-shard results in shard (= item) order.
+/// With one shard the worker runs inline — the serial path and the
+/// 1-thread parallel path are literally the same code.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded<R, F>(n: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = shard_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(worker).collect();
+    }
+    std::thread::scope(|s| {
+        let worker = &worker;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || worker(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fault-shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 64, 1000] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = shard_ranges(n, parts);
+                // Contiguous cover of 0..n, no shard empty.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} parts={parts}");
+                    assert!(!r.is_empty() || n == 0);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= parts.max(1));
+                // Balanced: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1, "n={n} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_preserves_item_order() {
+        let squares = run_sharded(100, 7, |r| r.map(|i| i * i).collect::<Vec<_>>());
+        let flat: Vec<usize> = squares.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_sharded_single_thread_runs_inline() {
+        let id = std::thread::current().id();
+        let ran_on = run_sharded(10, 1, |_| std::thread::current().id());
+        assert_eq!(ran_on, vec![id]);
+    }
+
+    #[test]
+    fn parallelism_resolves() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Fixed(4).resolve(), 4);
+        assert_eq!(Parallelism::Fixed(0).resolve(), 1);
+        assert!(Parallelism::Auto.resolve() >= 1);
+    }
+}

@@ -4,9 +4,41 @@
 //! [`PatternSource`] produces packed 64-lane pattern words, one per primary
 //! input, where input `i` is 1 with its configured probability — the
 //! driver for the pattern-parallel fault simulator.
+//!
+//! # Counter-based stream
+//!
+//! The source is *splittable*: batch `b` of the stream is a pure function
+//! of `(seed, b)` ([`PatternSource::batch_at`]), so any number of threads
+//! can regenerate any slice of the stream independently and the parallel
+//! fault simulator ([`crate::parallel`]) stays bit-identical to the
+//! serial one at every thread count. `next_batch` simply advances a
+//! cursor over the same stream.
+//!
+//! # Bit-sliced weighting
+//!
+//! Each probability is lowered once, at construction, to a fixed-point
+//! [`PackedWeight`]; a weighted 64-lane word then costs
+//! [`PackedWeight::depth`] uniform RNG words (the AND/OR threshold
+//! cascade — exact for dyadic probabilities `m/2^k`, threshold comparison
+//! at 64-bit resolution otherwise) instead of 64 per-bit Bernoulli draws.
+//! Scalar draws ([`PatternSource::next_pattern`]) route through the same
+//! lowered thresholds, so scalar and packed streams realize identical
+//! probabilities.
 
+use dynmos_logic::PackedWeight;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64 finalizer: decorrelates batch indices before seeding.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain separator so the scalar stream never aliases a batch stream.
+const SCALAR_STREAM: u64 = 0x5CA1_AB1E_0000_0001;
 
 /// A seeded source of weighted random pattern batches.
 ///
@@ -18,27 +50,37 @@ use rand::{Rng, SeedableRng};
 /// let batch = src.next_batch();
 /// assert_eq!(batch.len(), 2);
 /// // Lane k of batch[i] is pattern k's value for input i.
+/// // The stream is position-addressable: batch 0 is reproducible.
+/// assert_eq!(batch, src.batch_at(0));
 /// ```
 #[derive(Debug, Clone)]
 pub struct PatternSource {
-    rng: StdRng,
+    seed: u64,
     probs: Vec<f64>,
+    weights: Vec<PackedWeight>,
+    /// Cursor: index of the next batch `next_batch` returns.
+    position: u64,
+    /// Dedicated stream for scalar `next_pattern` draws.
+    scalar_rng: StdRng,
 }
 
 impl PatternSource {
-    /// Creates a source for the given per-input probabilities.
+    /// Creates a source for the given per-input probabilities. Each
+    /// probability is lowered once to a fixed-point threshold
+    /// ([`PackedWeight::lower`]).
     ///
     /// # Panics
     ///
     /// Panics if any probability is outside `[0, 1]` or `probs` is empty.
     pub fn new(seed: u64, probs: Vec<f64>) -> Self {
         assert!(!probs.is_empty(), "need at least one input");
-        for &p in &probs {
-            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
-        }
+        let weights = probs.iter().map(|&p| PackedWeight::lower(p)).collect();
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            weights,
             probs,
+            position: 0,
+            scalar_rng: StdRng::seed_from_u64(seed ^ SCALAR_STREAM),
         }
     }
 
@@ -57,49 +99,103 @@ impl PatternSource {
         &self.probs
     }
 
+    /// The lowered fixed-point weights, in input order.
+    pub fn weights(&self) -> &[PackedWeight] {
+        &self.weights
+    }
+
+    /// The stream cursor: index of the next batch [`Self::next_batch`]
+    /// will return.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Moves the stream cursor (64 patterns per batch index).
+    pub fn set_position(&mut self, batch_index: u64) {
+        self.position = batch_index;
+    }
+
+    /// The RNG of batch `index` — a pure function of `(seed, index)`.
+    fn batch_rng(&self, index: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ mix64(index))
+    }
+
+    /// Batch `index` of the stream, independent of the cursor: element
+    /// `i` holds input `i`'s values across the 64 lanes.
+    pub fn batch_at(&self, index: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.probs.len()];
+        self.fill_batch_at(index, &mut out);
+        out
+    }
+
+    /// [`Self::batch_at`] into a caller-owned buffer (one word per input)
+    /// — the allocation-free form the simulation hot loops use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != input_count()`.
+    pub fn fill_batch_at(&self, index: u64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.probs.len(), "one word per input");
+        let mut rng = self.batch_rng(index);
+        for (o, w) in out.iter_mut().zip(&self.weights) {
+            *o = w.weighted_word(|| rng.next_u64());
+        }
+    }
+
     /// Generates the next 64 patterns, packed: element `i` of the result
     /// holds input `i`'s values across the 64 lanes.
     pub fn next_batch(&mut self) -> Vec<u64> {
-        self.next_batch_wide(1)
+        let b = self.batch_at(self.position);
+        self.position += 1;
+        b
     }
 
     /// Generates the next `width × 64` patterns in the wide evaluator
     /// layout ([`dynmos_netlist::PackedEvaluator::with_width`]): `width`
-    /// consecutive words per input, inputs in declaration order.
+    /// consecutive words per input, inputs in declaration order. Lane
+    /// word `w` of the result is stream batch `position + w`, so wide
+    /// and narrow consumers of one seed see the same patterns.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
     pub fn next_batch_wide(&mut self, width: usize) -> Vec<u64> {
         assert!(width > 0, "need at least one lane word");
-        let mut out = Vec::with_capacity(self.probs.len() * width);
-        for &p in &self.probs {
-            for _ in 0..width {
-                out.push(weighted_word(&mut self.rng, p));
-            }
-        }
+        let mut out = vec![0u64; self.probs.len() * width];
+        self.fill_batch_wide_at(self.position, width, &mut out);
+        self.position += width as u64;
         out
     }
 
-    /// Generates one scalar pattern as a `Vec<bool>`.
-    pub fn next_pattern(&mut self) -> Vec<bool> {
-        self.probs.iter().map(|&p| self.rng.gen_bool(p)).collect()
-    }
-}
-
-/// One packed word of 64 weighted coin flips.
-fn weighted_word(rng: &mut StdRng, p: f64) -> u64 {
-    if (p - 0.5).abs() < 1e-12 {
-        // Fast path: one RNG word per input.
-        rng.gen::<u64>()
-    } else {
-        let mut w = 0u64;
-        for lane in 0..64 {
-            if rng.gen_bool(p) {
-                w |= 1 << lane;
+    /// Writes batches `first_index .. first_index + width` in the wide
+    /// layout, independent of the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `out.len() != input_count() * width`.
+    pub fn fill_batch_wide_at(&self, first_index: u64, width: usize, out: &mut [u64]) {
+        assert!(width > 0, "need at least one lane word");
+        assert_eq!(
+            out.len(),
+            self.probs.len() * width,
+            "need {width} packed words per primary input"
+        );
+        for w in 0..width {
+            let mut rng = self.batch_rng(first_index + w as u64);
+            for (i, wt) in self.weights.iter().enumerate() {
+                out[i * width + w] = wt.weighted_word(|| rng.next_u64());
             }
         }
-        w
+    }
+
+    /// Generates one scalar pattern as a `Vec<bool>`, via the same
+    /// lowered thresholds as the packed path (one uniform word per
+    /// input, compared against the input's fixed-point threshold).
+    pub fn next_pattern(&mut self) -> Vec<bool> {
+        self.weights
+            .iter()
+            .map(|w| w.scalar_draw(self.scalar_rng.next_u64()))
+            .collect()
     }
 }
 
@@ -125,11 +221,39 @@ mod tests {
     }
 
     #[test]
+    fn stream_is_position_addressable() {
+        let mut seq = PatternSource::new(11, vec![0.5, 0.75]);
+        let by_cursor: Vec<Vec<u64>> = (0..8).map(|_| seq.next_batch()).collect();
+        let random_access = PatternSource::new(11, vec![0.5, 0.75]);
+        for (i, batch) in by_cursor.iter().enumerate() {
+            assert_eq!(*batch, random_access.batch_at(i as u64), "batch {i}");
+        }
+        // Rewinding replays.
+        seq.set_position(3);
+        assert_eq!(seq.next_batch(), by_cursor[3]);
+        assert_eq!(seq.position(), 4);
+    }
+
+    #[test]
+    fn wide_batches_interleave_narrow_batches() {
+        let mut narrow = PatternSource::new(5, vec![0.25, 0.5, 0.9]);
+        let mut wide = PatternSource::new(5, vec![0.25, 0.5, 0.9]);
+        let n: Vec<Vec<u64>> = (0..4).map(|_| narrow.next_batch()).collect();
+        let w = wide.next_batch_wide(4);
+        for i in 0..3 {
+            for k in 0..4 {
+                assert_eq!(w[i * 4 + k], n[k][i], "input {i} word {k}");
+            }
+        }
+        assert_eq!(narrow.position(), wide.position());
+    }
+
+    #[test]
     fn empirical_frequency_tracks_probability() {
         let probs = vec![0.125, 0.5, 0.9];
         let mut src = PatternSource::new(99, probs.clone());
         let mut ones = [0u64; 3];
-        let batches = 400; // 25,600 samples per input
+        let batches = 1024; // 65,536 samples per input (>= 2^16)
         for _ in 0..batches {
             for (i, w) in src.next_batch().iter().enumerate() {
                 ones[i] += w.count_ones() as u64;
@@ -138,10 +262,42 @@ mod tests {
         let total = (batches * 64) as f64;
         for (i, &p) in probs.iter().enumerate() {
             let freq = ones[i] as f64 / total;
+            let tol = (4.0 * (p * (1.0 - p) / total).sqrt()).max(1e-3);
             assert!(
-                (freq - p).abs() < 0.02,
-                "input {i}: frequency {freq} vs probability {p}"
+                (freq - p).abs() < tol,
+                "input {i}: frequency {freq} vs probability {p} (tol {tol})"
             );
+        }
+    }
+
+    #[test]
+    fn dyadic_probabilities_lower_exactly() {
+        let probs = vec![0.5, 0.25, 0.9375, 0.015625];
+        let src = PatternSource::new(1, probs.clone());
+        for (w, &p) in src.weights().iter().zip(&probs) {
+            assert_eq!(w.probability(), p, "dyadic {p} must be exact");
+        }
+        // 0.5 is a one-word weight — the fast path is now an exact
+        // threshold property, not an epsilon comparison.
+        assert_eq!(src.weights()[0].depth(), 1);
+        assert_eq!(src.weights()[2].depth(), 4); // 0.9375 = 15/16
+    }
+
+    #[test]
+    fn scalar_pattern_frequency_tracks_probability() {
+        let probs = vec![0.125, 0.875];
+        let mut src = PatternSource::new(13, probs.clone());
+        let n = 1u64 << 16;
+        let mut ones = [0u64; 2];
+        for _ in 0..n {
+            for (i, b) in src.next_pattern().into_iter().enumerate() {
+                ones[i] += u64::from(b);
+            }
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = ones[i] as f64 / n as f64;
+            let tol = 4.0 * (p * (1.0 - p) / n as f64).sqrt();
+            assert!((freq - p).abs() < tol, "input {i}: {freq} vs {p}");
         }
     }
 

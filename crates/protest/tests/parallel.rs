@@ -1,0 +1,135 @@
+//! Differential tests: every thread-sharded PROTEST path must be
+//! bit-identical to its serial form for the same seed, at every tested
+//! thread count, from paper-scale networks up to the ISCAS-class
+//! generated circuits.
+
+use dynmos_netlist::generate::{array_multiplier, random_domino_network, ripple_adder};
+use dynmos_netlist::Network;
+use dynmos_protest::{
+    mc_detection_probabilities_par, mc_signal_probability_par, network_fault_list,
+    stuck_fault_list, FaultEntry, FaultSimulator, Parallelism, PatternSource,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The circuits under differential test: random multi-level domino
+/// networks plus the large structured bipolar circuits.
+fn corpus() -> Vec<(String, Network, Vec<FaultEntry>)> {
+    let mut out = Vec::new();
+    for seed in [3u64, 11, 29] {
+        let net = random_domino_network(seed, 8, 30);
+        let faults = network_fault_list(&net);
+        out.push((format!("random{seed}"), net, faults));
+    }
+    let adder = ripple_adder(48); // 240 gates
+    let faults = stuck_fault_list(&adder);
+    out.push(("ripple_adder_48".into(), adder, faults));
+    let mult = array_multiplier(6); // 164 gates
+    let faults = stuck_fault_list(&mult);
+    out.push(("array_mult_6".into(), mult, faults));
+    out
+}
+
+#[test]
+fn parallel_fsim_is_bit_identical_to_serial() {
+    for (name, net, faults) in corpus() {
+        let n = net.primary_inputs().len();
+        let probs: Vec<f64> = (0..n).map(|i| [0.5, 0.25, 0.9375, 0.75][i % 4]).collect();
+        let mut serial_src = PatternSource::new(0xDAC0 + n as u64, probs.clone());
+        let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &faults,
+            &mut serial_src,
+            5000, // non-multiple of 64: exercises the tail mask
+        );
+        for threads in THREAD_COUNTS {
+            let mut src = PatternSource::new(0xDAC0 + n as u64, probs.clone());
+            let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
+            let out = sim.run_random(&faults, &mut src, 5000);
+            assert_eq!(
+                out.detected_at, serial.detected_at,
+                "{name}: detection indices differ at {threads} threads"
+            );
+            assert_eq!(
+                out.patterns_applied, serial.patterns_applied,
+                "{name}: pattern counts differ at {threads} threads"
+            );
+            assert_eq!(
+                out.coverage_curve, serial.coverage_curve,
+                "{name}: coverage curves differ at {threads} threads"
+            );
+            assert_eq!(
+                out.escapes(),
+                serial.escapes(),
+                "{name}: escape sets differ at {threads} threads"
+            );
+            assert_eq!(
+                src.position(),
+                serial_src.position(),
+                "{name}: stream cursors differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_fsim_covers_large_circuits() {
+    // Sanity beyond equality: the sharded simulator actually detects
+    // faults on the ISCAS-scale circuits.
+    let net = ripple_adder(80); // 400 gates
+    let faults = stuck_fault_list(&net);
+    let mut src = PatternSource::uniform(7, net.primary_inputs().len());
+    let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(4));
+    let out = sim.run_random(&faults, &mut src, 20_000);
+    assert!(
+        out.coverage() > 0.95,
+        "coverage {} suspiciously low",
+        out.coverage()
+    );
+}
+
+#[test]
+fn parallel_monte_carlo_is_bit_identical_to_serial() {
+    for (name, net, faults) in corpus() {
+        let n = net.primary_inputs().len();
+        let probs: Vec<f64> = (0..n).map(|i| [0.9375, 0.5, 0.25][i % 3]).collect();
+        // Keep the fault list small enough for quick estimation.
+        let subset: Vec<FaultEntry> = faults.into_iter().take(24).collect();
+        let serial =
+            mc_detection_probabilities_par(&net, &subset, &probs, 99, 7_777, Parallelism::Serial);
+        let po = net.primary_outputs()[0];
+        let sig_serial =
+            mc_signal_probability_par(&net, po, &probs, 99, 7_777, Parallelism::Serial);
+        for threads in THREAD_COUNTS {
+            let par = Parallelism::Fixed(threads);
+            let est = mc_detection_probabilities_par(&net, &subset, &probs, 99, 7_777, par);
+            assert_eq!(
+                est, serial,
+                "{name}: detection estimates at {threads} threads"
+            );
+            let sig = mc_signal_probability_par(&net, po, &probs, 99, 7_777, par);
+            assert_eq!(
+                sig, sig_serial,
+                "{name}: signal estimate at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_parallelism_matches_serial_on_default_entry_points() {
+    // The public defaults (Parallelism::Auto) must agree with the forced
+    // serial path — this is what guarantees user-visible determinism no
+    // matter the machine (or the DYNMOS_THREADS override CI sets).
+    let net = ripple_adder(24);
+    let faults = stuck_fault_list(&net);
+    let mut auto_src = PatternSource::uniform(5, net.primary_inputs().len());
+    let auto = FaultSimulator::new(&net).run_random(&faults, &mut auto_src, 4096);
+    let mut serial_src = PatternSource::uniform(5, net.primary_inputs().len());
+    let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+        &faults,
+        &mut serial_src,
+        4096,
+    );
+    assert_eq!(auto.detected_at, serial.detected_at);
+    assert_eq!(auto.coverage_curve, serial.coverage_curve);
+}
