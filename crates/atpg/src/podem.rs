@@ -14,7 +14,7 @@
 
 use crate::tri::{eval_tri, Tri};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator};
-use dynmos_protest::{run_sharded, FaultEntry, Parallelism};
+use dynmos_protest::{plan_shards, run_sharded, FaultEntry, Parallelism, ShardPlan};
 
 /// Result of a single-fault ATPG run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -369,6 +369,12 @@ const PARALLEL_DROP_MIN: usize = 128;
 /// evaluator ([`dynmos_protest::parallel`]). Covered-set updates are
 /// order-independent, so the generated test set is identical at any
 /// thread count.
+///
+/// Each drop pass diffs **one** pattern, so the two-axis planner
+/// ([`plan_shards`]) has no pattern axis to cut here: late-stage passes,
+/// where the uncovered list has shrunk below the thread count, plan onto
+/// the inline serial path — per-pass spawn overhead would dwarf the
+/// handful of cone replays left.
 pub fn generate_test_set_par(
     net: &Network,
     faults: &[FaultEntry],
@@ -400,13 +406,16 @@ pub fn generate_test_set_par(
                 for (b, &bit) in batch.iter_mut().zip(&t) {
                     *b = bit as u64;
                 }
-                if threads > 1 && uncovered_count >= PARALLEL_DROP_MIN {
+                let plan = plan_shards(uncovered_count, 1, threads);
+                if matches!(plan, ShardPlan::Faults(w) if w > 1)
+                    && uncovered_count >= PARALLEL_DROP_MIN
+                {
                     uncovered.clear();
                     uncovered.extend((0..faults.len()).filter(|&j| !covered[j]));
                     let batch = &batch;
                     let prepared = &prepared;
                     let uncovered = &uncovered;
-                    let newly = run_sharded(uncovered.len(), threads, |range| {
+                    let newly = run_sharded(uncovered.len(), plan.workers(), |range| {
                         let mut ev = PackedEvaluator::new(net);
                         ev.eval(batch);
                         uncovered[range]

@@ -447,6 +447,56 @@ fn bench_fsim_json(_c: &mut Criterion) {
         }
     }
 
+    // Few-fault rows: the pattern-axis regime (faults < threads), the
+    // workload fault sharding cannot speed up at all. Probe the adder
+    // serially and keep the hardest (latest-detected or escaping) faults
+    // so the runs stay budget-bound like the full-list rows above.
+    {
+        let net = ripple_adder(80);
+        let all = stuck_fault_list(&net);
+        let n = net.primary_inputs().len();
+        let mut probe_src = PatternSource::new(9, vec![0.0625; n]);
+        let probe = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &all,
+            &mut probe_src,
+            patterns,
+        );
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        // Escapes (None) last in Option ordering = hardest first when
+        // sorted descending.
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse((probe.detected_at[i].is_none(), probe.detected_at[i]))
+        });
+        for fault_count in [1usize, 2] {
+            let faults: Vec<FaultEntry> = order[..fault_count]
+                .iter()
+                .map(|&i| all[i].clone())
+                .collect();
+            for (mode, threads, par) in [
+                ("serial", 1usize, Parallelism::Serial),
+                ("pattern-sharded", 2, Parallelism::Fixed(2)),
+                ("pattern-sharded", 4, Parallelism::Fixed(4)),
+            ] {
+                let sim = FaultSimulator::with_parallelism(&net, par);
+                let mut applied = 0u64;
+                let secs = time_best3(|| {
+                    let mut src = PatternSource::new(9, vec![0.0625; n]);
+                    let out = sim.run_random(&faults, &mut src, patterns);
+                    applied = out.patterns_applied;
+                    std::hint::black_box(out.coverage());
+                });
+                let pps = applied as f64 / secs.max(1e-12);
+                rows.push_str(&format!(
+                    ",\n    {{\"circuit\": \"ripple_adder_80\", \"gates\": {}, \
+                     \"faults\": {fault_count}, \"mode\": \"{mode}\", \
+                     \"threads\": {threads}, \"patterns\": {applied}, \
+                     \"seconds\": {secs:.6}, \"patterns_per_sec\": {pps:.1}}}",
+                    net.gates().len(),
+                ));
+            }
+        }
+    }
+
     // Weighted-generator kernel: bit-sliced vs the per-bit gen_bool
     // baseline, as raw word generation and as a full Monte Carlo run on
     // a non-uniform probability vector.

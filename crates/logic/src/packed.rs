@@ -53,16 +53,34 @@ impl PackedWeight {
     /// dyadic) lower exactly; others round to the closest representable
     /// threshold, an error below `2^-53` relative to the requested value.
     ///
+    /// **Interior probabilities never lower to a constant stream**: only
+    /// `p == 0.0` produces `Threshold(0)` and only `p == 1.0` produces
+    /// [`PackedWeight::One`]. An extreme-but-valid `0 < p < 1` (the
+    /// regime weighted-random test *optimizes into* — a hard fault may
+    /// demand `p` within `2^-65` of a boundary) clamps to the nearest
+    /// non-constant threshold, `Threshold(1) ..= Threshold(u64::MAX)`,
+    /// instead of rounding to a stuck input that would make the fault
+    /// undetectable and diverge the expected test length.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn lower(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
-        // Scale into [0, 2^64]; the saturating u128 cast keeps the
-        // boundary case p = 1 (and anything rounding up to 2^64) exact.
+        if p == 0.0 {
+            return PackedWeight::Threshold(0);
+        }
+        if p == 1.0 {
+            return PackedWeight::One;
+        }
+        // Scale into [0, 2^64] (the u128 intermediate keeps anything
+        // rounding up to 2^64 representable), then clamp interior p away
+        // from the constant streams at either end.
         let scaled = (p * 18_446_744_073_709_551_616.0).round() as u128;
-        if scaled >= 1u128 << 64 {
-            PackedWeight::One
+        if scaled == 0 {
+            PackedWeight::Threshold(1)
+        } else if scaled >= 1u128 << 64 {
+            PackedWeight::Threshold(u64::MAX)
         } else {
             PackedWeight::Threshold(scaled as u64)
         }
@@ -158,6 +176,45 @@ mod tests {
         assert_eq!(PackedWeight::lower(1.0).weighted_word(&mut src), !0);
         assert!(!PackedWeight::lower(0.0).scalar_draw(0));
         assert!(PackedWeight::lower(1.0).scalar_draw(u64::MAX));
+    }
+
+    #[test]
+    fn interior_probabilities_never_lower_to_constant_streams() {
+        // Regression: p = 2^-70 used to round to Threshold(0) (constant-0
+        // stream) and p = 1 - 2^-70 to One (constant-1) — stuck inputs
+        // for probabilities that are strictly interior.
+        let tiny = (2.0f64).powi(-70);
+        let low = PackedWeight::lower(tiny);
+        assert_eq!(low, PackedWeight::Threshold(1));
+        assert!(low.probability() > 0.0 && low.probability() < 1.0);
+        assert!(low.depth() > 0, "a constant stream consumes no RNG words");
+        // Threshold(1): only the uniform word 0 draws a 1.
+        assert!(low.scalar_draw(0));
+        assert!(!low.scalar_draw(1));
+
+        // The guarantee is over f64 *values*: `1.0 - 2^-70` already
+        // rounds to 1.0 in the caller's arithmetic (2^-70 is far below
+        // the ulp of 1.0), so `lower` rightly sees the boundary — the
+        // high-side regression is the largest representable interior p.
+        assert_eq!(PackedWeight::lower(1.0 - tiny), PackedWeight::One);
+        let below_one = f64::from_bits(1.0f64.to_bits() - 1); // 1 - 2^-53
+        let high = PackedWeight::lower(below_one);
+        assert_ne!(high, PackedWeight::One);
+        assert!(high.probability() > 0.0 && high.probability() < 1.0);
+        // The stream really is non-constant: a uniform word at or above
+        // the threshold draws a 0.
+        assert!(!high.scalar_draw(u64::MAX));
+        assert!(high.scalar_draw(0));
+
+        // Sub-ulp neighbours of 0 behave like 2^-70.
+        for p in [f64::MIN_POSITIVE, 1e-300, (2.0f64).powi(-65)] {
+            let w = PackedWeight::lower(p);
+            assert_ne!(w, PackedWeight::Threshold(0), "p={p}");
+            assert!(w.probability() > 0.0, "p={p}");
+        }
+        // ... while the true boundaries still lower to the constants.
+        assert_eq!(PackedWeight::lower(0.0), PackedWeight::Threshold(0));
+        assert_eq!(PackedWeight::lower(1.0), PackedWeight::One);
     }
 
     #[test]

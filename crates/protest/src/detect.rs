@@ -13,7 +13,7 @@
 //! objective evaluations.
 
 use crate::list::FaultEntry;
-use crate::parallel::{run_sharded, Parallelism};
+use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator, PreparedFault};
 
 /// Exact detection probability of one fault by weighted exhaustive
@@ -93,6 +93,15 @@ pub struct ExactDetector<'n> {
 /// evaluator allocation) is dwarfed by the row walk.
 const PARALLEL_ROWS_MIN: u64 = 1 << 12;
 
+/// Rows per accumulation block. Every path — serial, fault-sharded,
+/// row-sharded — folds weights into per-block partial sums and adds the
+/// blocks in ascending order, so the floating-point summation tree is a
+/// property of the workload, never of the thread count, and results stay
+/// bit-identical on either axis. 4096 rows (64 packed evaluations) per
+/// block keeps the partial vector small while giving a pattern-axis
+/// worker enough work to pay for its evaluator.
+const ROW_BLOCK: u64 = 1 << 12;
+
 impl<'n> ExactDetector<'n> {
     /// A detector for a fault list, with the default thread policy
     /// ([`Parallelism::Auto`]).
@@ -129,8 +138,11 @@ impl<'n> ExactDetector<'n> {
 
     /// Exact detection probability of every fault under independent
     /// per-input probabilities `pi_probs`, by one weighted exhaustive
-    /// enumeration of the input space (sharded over worker threads when
-    /// the row space is large enough to pay for them).
+    /// enumeration of the input space. When the row space is large
+    /// enough to pay for worker threads, the enumeration is sharded
+    /// along the axis [`plan_shards`] picks: the fault list, or — in the
+    /// few-fault regime the optimizer's late objectives live in — the
+    /// row-block axis, merged by ascending-order block sums.
     ///
     /// # Panics
     ///
@@ -141,28 +153,10 @@ impl<'n> ExactDetector<'n> {
         assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
         assert_eq!(pi_probs.len(), n, "need one probability per primary input");
         let rows = 1u64 << n;
-        let threads = self.parallelism.resolve().min(self.prepared.len().max(1));
-        let mut totals = if threads > 1 && rows >= PARALLEL_ROWS_MIN && self.prepared.len() > 1 {
-            let net = self.net;
-            let prepared = &self.prepared;
-            run_sharded(prepared.len(), threads, |range| {
-                let mut ev = PackedEvaluator::new(net);
-                let mut pi_words = vec![0u64; n];
-                let mut weights = [0.0f64; 64];
-                enumerate_totals(
-                    &prepared[range],
-                    pi_probs,
-                    rows,
-                    &mut ev,
-                    &mut pi_words,
-                    &mut weights,
-                )
-            })
-            .into_iter()
-            .flatten()
-            .collect()
-        } else {
-            enumerate_totals(
+        let blocks = rows.div_ceil(ROW_BLOCK);
+        let plan = plan_shards(self.prepared.len(), blocks, self.parallelism.resolve());
+        let mut totals = if plan.is_serial() || rows < PARALLEL_ROWS_MIN {
+            fold_blocks(
                 &self.prepared,
                 pi_probs,
                 rows,
@@ -170,6 +164,60 @@ impl<'n> ExactDetector<'n> {
                 &mut self.pi_words,
                 &mut self.weights,
             )
+        } else {
+            let net = self.net;
+            let prepared = &self.prepared;
+            match plan {
+                ShardPlan::Faults(workers) => run_sharded(prepared.len(), workers, |range| {
+                    let mut ev = PackedEvaluator::new(net);
+                    let mut pi_words = vec![0u64; n];
+                    let mut weights = [0.0f64; 64];
+                    fold_blocks(
+                        &prepared[range],
+                        pi_probs,
+                        rows,
+                        &mut ev,
+                        &mut pi_words,
+                        &mut weights,
+                    )
+                })
+                .into_iter()
+                .flatten()
+                .collect(),
+                ShardPlan::Patterns(workers) => {
+                    // Each worker returns its blocks' partials untouched;
+                    // the merge folds them in ascending block order —
+                    // the same summation tree every other path uses.
+                    let shards = run_sharded(blocks as usize, workers, |block_range| {
+                        let mut ev = PackedEvaluator::new(net);
+                        let mut pi_words = vec![0u64; n];
+                        let mut weights = [0.0f64; 64];
+                        let mut partials = Vec::with_capacity(block_range.len());
+                        for b in block_range {
+                            let b = b as u64;
+                            let mut block = vec![0.0f64; prepared.len()];
+                            enumerate_block_into(
+                                prepared,
+                                pi_probs,
+                                b * ROW_BLOCK..((b + 1) * ROW_BLOCK).min(rows),
+                                &mut ev,
+                                &mut pi_words,
+                                &mut weights,
+                                &mut block,
+                            );
+                            partials.push(block);
+                        }
+                        partials
+                    });
+                    let mut totals = vec![0.0f64; prepared.len()];
+                    for block in shards.into_iter().flatten() {
+                        for (t, p) in totals.iter_mut().zip(&block) {
+                            *t += p;
+                        }
+                    }
+                    totals
+                }
+            }
         };
         // Summing 2^n weights accumulates ulp-scale error; clamp to [0,1]
         // so downstream validation (test_length) never sees 1.0 + epsilon.
@@ -180,10 +228,12 @@ impl<'n> ExactDetector<'n> {
     }
 }
 
-/// One weighted row-space walk for a shard of prepared faults. Every
-/// fault's total is accumulated in ascending row order, so the result
-/// does not depend on how the fault list was sharded.
-fn enumerate_totals(
+/// The whole-row-space fold the serial path and every fault-axis worker
+/// share: per-block partials ([`enumerate_block_into`]) added in
+/// ascending block order. Keeping this in one place is what pins the
+/// floating-point summation tree — the determinism contract rests on
+/// the pattern-axis merge reproducing exactly this fold.
+fn fold_blocks(
     prepared: &[PreparedFault<'_>],
     pi_probs: &[f64],
     rows: u64,
@@ -191,10 +241,43 @@ fn enumerate_totals(
     pi_words: &mut [u64],
     weights: &mut [f64; 64],
 ) -> Vec<f64> {
+    let blocks = rows.div_ceil(ROW_BLOCK);
     let mut totals = vec![0.0f64; prepared.len()];
-    let mut row = 0u64;
-    while row < rows {
-        let lanes = (rows - row).min(64);
+    let mut block = vec![0.0f64; prepared.len()];
+    for b in 0..blocks {
+        enumerate_block_into(
+            prepared,
+            pi_probs,
+            b * ROW_BLOCK..((b + 1) * ROW_BLOCK).min(rows),
+            ev,
+            pi_words,
+            weights,
+            &mut block,
+        );
+        for (t, p) in totals.iter_mut().zip(&block) {
+            *t += p;
+        }
+    }
+    totals
+}
+
+/// The weighted row walk of one block, `out[fi]` reset and accumulated
+/// in ascending row order within the block. Every fault's block partial
+/// is a pure function of the block's row range, so the result does not
+/// depend on which worker (or axis) computed it.
+fn enumerate_block_into(
+    prepared: &[PreparedFault<'_>],
+    pi_probs: &[f64],
+    row_range: std::ops::Range<u64>,
+    ev: &mut PackedEvaluator<'_>,
+    pi_words: &mut [u64],
+    weights: &mut [f64; 64],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    let mut row = row_range.start;
+    while row < row_range.end {
+        let lanes = (row_range.end - row).min(64);
         pi_words.fill(0);
         for lane in 0..lanes {
             let assignment = row + lane;
@@ -221,13 +304,12 @@ fn enumerate_totals(
             }
             while differ != 0 {
                 let lane = differ.trailing_zeros() as usize;
-                totals[fi] += weights[lane];
+                out[fi] += weights[lane];
                 differ &= differ - 1;
             }
         }
         row += lanes;
     }
-    totals
 }
 
 #[cfg(test)]
@@ -328,6 +410,36 @@ mod tests {
             det.set_parallelism(Parallelism::Fixed(threads));
             assert_eq!(det.probabilities(&probs), serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn few_fault_row_block_axis_matches_serial() {
+        // 2 faults < threads on a 2^14-row space: the planner shards the
+        // row-block axis; ascending-order block sums keep every f64 total
+        // bit-identical to the serial fold.
+        let net = single_cell_network(domino_wide_and(14));
+        let list: Vec<_> = network_fault_list(&net).into_iter().take(2).collect();
+        let probs: Vec<f64> = (0..14).map(|i| 0.3 + 0.04 * (i % 9) as f64).collect();
+        let mut det = ExactDetector::new(&net, &list);
+        det.set_parallelism(Parallelism::Serial);
+        let serial = det.probabilities(&probs);
+        for threads in [2usize, 4, 8] {
+            det.set_parallelism(Parallelism::Fixed(threads));
+            assert_eq!(det.probabilities(&probs), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_fault_enumeration_shards_rows() {
+        // The degenerate one-fault list used to force serial; the pattern
+        // axis now parallelizes it and must stay exact.
+        let net = single_cell_network(domino_wide_and(13));
+        let list = network_fault_list(&net);
+        let s0z = vec![list[s0z_index(&list)].clone()];
+        let mut det = ExactDetector::new(&net, &s0z);
+        det.set_parallelism(Parallelism::Fixed(8));
+        let p = det.probabilities(&vec![0.5; 13]);
+        assert!((p[0] - 0.5f64.powi(13)).abs() < 1e-15, "p={}", p[0]);
     }
 
     #[test]

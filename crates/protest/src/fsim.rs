@@ -15,14 +15,21 @@
 //! outputs the cone reaches ([`dynmos_netlist::PackedEvaluator`]). Fault
 //! dropping removes detected faults from the live list.
 //!
-//! On top of that, [`FaultSimulator::run_random`] shards the fault list
-//! over worker threads ([`crate::parallel`]): each worker owns an
-//! evaluator and replays the counter-based pattern stream for its shard,
-//! so the outcome is **bit-identical to the serial run at any thread
-//! count** (see the determinism contract in [`crate::parallel`]).
+//! On top of that, [`FaultSimulator::run_random`] shards work over
+//! threads along whichever axis the two-axis planner
+//! ([`crate::parallel::plan_shards`]) picks: the **fault axis** (each
+//! worker owns an evaluator and replays the whole counter-based stream
+//! for its fault slice) when the list can feed every worker, or the
+//! **pattern axis** (each worker simulates every fault over a contiguous
+//! batch range of the stream, [`crate::random::StreamSpan`]) in the
+//! few-fault regime. Pattern shards merge by the minimum detection index
+//! per fault — a fault's first detection over the whole stream is the
+//! earliest of its per-range first detections — so either axis is
+//! **bit-identical to the serial run at any thread count** (see the
+//! determinism contract in [`crate::parallel`]).
 
 use crate::list::FaultEntry;
-use crate::parallel::{run_sharded, Parallelism};
+use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{Network, PackedEvaluator};
 
@@ -40,10 +47,15 @@ pub struct FsimOutcome {
 }
 
 impl FsimOutcome {
-    /// Fraction of faults detected.
+    /// Fraction of faults detected. An empty fault list is vacuously
+    /// fully covered (`1.0`): every fault in it — all zero of them — was
+    /// detected, and "0% coverage" would read as a failed run.
     pub fn coverage(&self) -> f64 {
+        if self.detected_at.is_empty() {
+            return 1.0;
+        }
         let detected = self.detected_at.iter().filter(|d| d.is_some()).count();
-        detected as f64 / self.detected_at.len().max(1) as f64
+        detected as f64 / self.detected_at.len() as f64
     }
 
     /// Indices of undetected faults.
@@ -73,16 +85,30 @@ fn curve_from(detected_at: &[Option<u64>], patterns_applied: u64) -> Vec<(u64, u
     curve
 }
 
-/// Per-shard result of [`FaultSimulator::random_shard`].
-struct ShardOutcome {
-    detected_at: Vec<Option<u64>>,
-    /// Batches this shard consumed before its live list emptied (or the
-    /// budget ran out).
-    batches: u64,
+/// Merges per-pattern-shard detection indices: a fault's first detection
+/// over the whole stream is the **minimum** of its first detections over
+/// any disjoint cover of the stream (absent in a range ⇒ `None` there).
+/// The merge is order-independent, so the result cannot depend on how
+/// the pattern axis was cut.
+fn merge_min_detection(
+    faults: usize,
+    spans: impl IntoIterator<Item = Vec<Option<u64>>>,
+) -> Vec<Option<u64>> {
+    let mut merged: Vec<Option<u64>> = vec![None; faults];
+    for span in spans {
+        debug_assert_eq!(span.len(), faults);
+        for (m, d) in merged.iter_mut().zip(span) {
+            *m = match (*m, d) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+    merged
 }
 
 /// Serial-fault, pattern-parallel fault simulator with fault dropping and
-/// optional fault-sharded multithreading.
+/// optional two-axis (fault- or pattern-sharded) multithreading.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'n> {
     net: &'n Network,
@@ -112,8 +138,12 @@ impl<'n> FaultSimulator<'n> {
     /// so `patterns_applied` and detection indices never exceed
     /// `max_patterns` even when it is not a multiple of 64.
     ///
-    /// The fault list is sharded over worker threads; the result (and the
-    /// source's final cursor) is bit-identical at any thread count.
+    /// Work is sharded over worker threads along the axis
+    /// [`plan_shards`] picks: fault slices replaying the whole stream, or
+    /// — when the fault list cannot feed every worker — contiguous batch
+    /// ranges of the stream covering the whole list, merged by the
+    /// minimum detection index per fault. The result (and the source's
+    /// final cursor) is bit-identical at any thread count on either axis.
     ///
     /// # Panics
     ///
@@ -137,20 +167,42 @@ impl<'n> FaultSimulator<'n> {
             };
         }
         let start = source.position();
+        let total_batches = max_patterns.div_ceil(64);
         let threads = self.parallelism.resolve();
         let src: &PatternSource = source;
-        let shards = run_sharded(faults.len(), threads, |range| {
-            self.random_shard(&faults[range], src, start, max_patterns)
-        });
-        let mut detected_at = Vec::with_capacity(faults.len());
-        let mut batches = 0u64;
-        for shard in shards {
-            detected_at.extend(shard.detected_at);
-            batches = batches.max(shard.batches);
-        }
-        // The global run stops when the *last* shard's live list empties:
-        // the pattern count is the maximum over shards, exactly what the
-        // serial loop applies before its global live list empties.
+        let detected_at = match plan_shards(faults.len(), total_batches, threads) {
+            ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |range| {
+                self.random_span(&faults[range], src, start, 0..total_batches, max_patterns)
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+            ShardPlan::Patterns(workers) => {
+                let spans = run_sharded(total_batches as usize, workers, |range| {
+                    self.random_span(
+                        faults,
+                        src,
+                        start,
+                        range.start as u64..range.end as u64,
+                        max_patterns,
+                    )
+                });
+                merge_min_detection(faults.len(), spans)
+            }
+        };
+        // Reconstruct the serial stopping point from the merged indices:
+        // the serial loop consumes batches until its live list empties
+        // (the batch holding the last first-detection) or the budget runs
+        // out — identical on both axes, because the merged indices are.
+        let batches = if detected_at.iter().all(Option::is_some) {
+            detected_at
+                .iter()
+                .flatten()
+                .max()
+                .map_or(0, |d| d.div_ceil(64))
+        } else {
+            total_batches
+        };
         let patterns_applied = (batches * 64).min(max_patterns);
         source.set_position(start + batches);
         FsimOutcome {
@@ -160,28 +212,36 @@ impl<'n> FaultSimulator<'n> {
         }
     }
 
-    /// The serial kernel over one fault shard, replaying the stream from
-    /// batch `start`.
-    fn random_shard(
+    /// The kernel both axes share: simulates `faults` over the stream
+    /// batches `span` (relative to the stream offset `start`), recording
+    /// absolute 1-based first-detection indices and dropping each fault
+    /// at its first detection within the span. The fault axis calls it
+    /// with the full span and a fault slice; the pattern axis with a span
+    /// slice and the full fault list.
+    fn random_span(
         &self,
         faults: &[FaultEntry],
         source: &PatternSource,
         start: u64,
+        span: std::ops::Range<u64>,
         max_patterns: u64,
-    ) -> ShardOutcome {
+    ) -> Vec<Option<u64>> {
         let mut ev = PackedEvaluator::new(self.net);
         let prepared: Vec<_> = faults
             .iter()
             .map(|e| self.net.prepare_fault(&e.fault))
             .collect();
+        let stream = source.span(start + span.start..start + span.end);
         let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
         let mut live: Vec<usize> = (0..faults.len()).collect();
-        let mut applied = 0u64;
-        let mut batches = 0u64;
         let mut batch = vec![0u64; source.input_count()];
-        while !live.is_empty() && applied < max_patterns {
-            source.fill_batch_at(start + batches, &mut batch);
+        for k in 0..stream.len() {
+            if live.is_empty() {
+                break;
+            }
+            stream.fill_batch(k, &mut batch);
             ev.eval(&batch);
+            let applied = (span.start + k) * 64;
             let lanes = (max_patterns - applied).min(64);
             let lanes_mask = if lanes == 64 {
                 u64::MAX
@@ -198,13 +258,8 @@ impl<'n> FaultSimulator<'n> {
                     true
                 }
             });
-            applied += lanes;
-            batches += 1;
         }
-        ShardOutcome {
-            detected_at,
-            batches,
-        }
+        detected_at
     }
 
     /// Applies an explicit deterministic pattern set (each pattern a PI
@@ -405,6 +460,45 @@ mod tests {
             let mut src = PatternSource::uniform(23, 5);
             let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
             let out = sim.run_random(&faults, &mut src, 4096);
+            assert_eq!(out.detected_at, serial.detected_at, "threads={threads}");
+            assert_eq!(out.patterns_applied, serial.patterns_applied);
+            assert_eq!(out.coverage_curve, serial.coverage_curve);
+            assert_eq!(src.position(), serial_src.position());
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_vacuously_covered() {
+        // Convention: zero faults to find means nothing escaped — full
+        // coverage, not the alarming 0.0 this used to report.
+        let net = c17_dynamic_nmos();
+        let mut src = PatternSource::uniform(1, 5);
+        let out = FaultSimulator::new(&net).run_random(&[], &mut src, 128);
+        assert_eq!(out.coverage(), 1.0);
+        assert_eq!(out.patterns_applied, 0);
+        assert!(out.escapes().is_empty());
+        let from_patterns = FaultSimulator::new(&net).run_patterns(&[], &[vec![false; 5]]);
+        assert_eq!(from_patterns.coverage(), 1.0);
+    }
+
+    #[test]
+    fn few_fault_pattern_axis_matches_serial() {
+        // 2 live faults < threads forces the pattern-axis plan; the
+        // min-detection-index merge must reproduce the serial run.
+        let net = single_cell_network(domino_wide_and(10));
+        let faults = network_fault_list(&net);
+        let hard = s0z_index(&faults);
+        let few = vec![faults[0].clone(), faults[hard].clone()];
+        let mut serial_src = PatternSource::uniform(19, 10);
+        let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &few,
+            &mut serial_src,
+            100_000,
+        );
+        for threads in [4usize, 8, 16] {
+            let mut src = PatternSource::uniform(19, 10);
+            let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
+            let out = sim.run_random(&few, &mut src, 100_000);
             assert_eq!(out.detected_at, serial.detected_at, "threads={threads}");
             assert_eq!(out.patterns_applied, serial.patterns_applied);
             assert_eq!(out.coverage_curve, serial.coverage_curve);

@@ -9,6 +9,19 @@
 //! `m` faults are detected within `N` independent patterns is
 //! `Π_i (1 - (1-p_i)^N)`. [`test_length`] finds the smallest `N` reaching
 //! the demanded confidence.
+//!
+//! The joint product is evaluated in **fixed-size blocks** folded in
+//! ascending order — the same partial-aggregation discipline the rest of
+//! [`crate::parallel`] uses — so [`test_length_par`] can shard the fault
+//! axis over worker threads (ISCAS-scale lists evaluate the product a
+//! hundred-plus times during the search) while staying bit-identical to
+//! the serial estimator at any thread count.
+
+use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
+
+/// Faults per partial-product block: the fixed summation-tree unit that
+/// makes serial and sharded products associate identically.
+const PROB_BLOCK: usize = 1024;
 
 /// Probability that at least one of `n` patterns detects a fault with
 /// per-pattern detection probability `p`: the complement of the escape
@@ -62,6 +75,24 @@ pub fn test_length_per_fault(p: f64, confidence: f64) -> u64 {
 /// assert!(n > 1500 && n < 2500);
 /// ```
 pub fn test_length(probs: &[f64], confidence: f64) -> u64 {
+    test_length_par(probs, confidence, Parallelism::default())
+}
+
+/// The joint detection confidence `Π_i (1 - (1-p_i)^N)` over one block of
+/// faults, folded left-to-right.
+fn block_confidence(probs: &[f64], n: u64) -> f64 {
+    probs
+        .iter()
+        .map(|&p| 1.0 - escape_probability(p, n))
+        .product()
+}
+
+/// [`test_length`] with an explicit thread policy for the joint-product
+/// evaluations of the search. The fault axis (in [`PROB_BLOCK`] blocks)
+/// is the only axis here, so the planner shards it whenever the list can
+/// feed every worker a block; block products merge by an ascending-order
+/// fold, making the result bit-identical at any thread count.
+pub fn test_length_par(probs: &[f64], confidence: f64, parallelism: Parallelism) -> u64 {
     assert!(!probs.is_empty(), "need at least one fault");
     assert!(
         confidence > 0.0 && confidence < 1.0,
@@ -73,11 +104,37 @@ pub fn test_length(probs: &[f64], confidence: f64) -> u64 {
     if probs.contains(&0.0) {
         return u64::MAX;
     }
+    let blocks = probs.len().div_ceil(PROB_BLOCK);
+    let workers = match plan_shards(blocks, 1, parallelism.resolve()) {
+        // The degenerate pattern axis never engages: with one block the
+        // planner falls back to Faults(1), the inline serial fold.
+        // Threads are spawned per `achieved` evaluation of the search,
+        // so demand several blocks of work per worker before paying the
+        // spawn — below that the inline fold wins.
+        ShardPlan::Faults(w) | ShardPlan::Patterns(w) if blocks >= w * 4 => w,
+        _ => 1,
+    };
     let achieved = |n: u64| -> f64 {
-        probs
-            .iter()
-            .map(|&p| 1.0 - escape_probability(p, n))
-            .product()
+        if workers <= 1 {
+            let mut total = 1.0f64;
+            for chunk in probs.chunks(PROB_BLOCK) {
+                total *= block_confidence(chunk, n);
+            }
+            return total;
+        }
+        // Per-block partials from the workers, folded in ascending block
+        // order — the identical summation tree to the serial loop above.
+        run_sharded(blocks, workers, |block_range| {
+            block_range
+                .map(|b| {
+                    let lo = b * PROB_BLOCK;
+                    block_confidence(&probs[lo..(lo + PROB_BLOCK).min(probs.len())], n)
+                })
+                .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .fold(1.0f64, |acc, block| acc * block)
     };
     // Exponential search then binary search on the monotone predicate.
     let mut hi = 1u64;
@@ -177,6 +234,25 @@ mod tests {
     #[test]
     fn redundant_fault_gives_infinite_length() {
         assert_eq!(test_length(&[0.5, 0.0], 0.9), u64::MAX);
+    }
+
+    #[test]
+    fn parallel_length_is_bit_identical_to_serial() {
+        // Large enough that every tested thread count clears the
+        // blocks-per-worker engagement threshold; the blocked product
+        // must make thread count invisible.
+        let probs: Vec<f64> = (0..40_000)
+            .map(|i| 0.001 + 0.9 * ((i * 37 % 101) as f64 / 101.0))
+            .collect();
+        let serial = test_length_par(&probs, 0.999, Parallelism::Serial);
+        for threads in [2usize, 3, 4, 8] {
+            assert_eq!(
+                test_length_par(&probs, 0.999, Parallelism::Fixed(threads)),
+                serial,
+                "threads={threads}"
+            );
+        }
+        assert!(serial > 1);
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!    splittable counter-based stream with bit-sliced weighting — one
 //!    threshold cascade per 64 lanes instead of 64 Bernoulli draws), and
 //! 6. validates predictions by **static fault simulation**
-//!    ([`FaultSimulator`], 64-way pattern-parallel and fault-sharded
-//!    across threads — see [`parallel`] for the determinism contract:
-//!    same seed ⇒ same result at any thread count).
+//!    ([`FaultSimulator`], 64-way pattern-parallel and thread-sharded
+//!    along whichever axis of the (faults × patterns) grid keeps every
+//!    core busy ([`plan_shards`]: fault slices, or contiguous stream
+//!    ranges in the few-fault regime) — see [`parallel`] for the
+//!    determinism contract: same seed ⇒ same result at any thread
+//!    count on either axis).
 //!
 //! # Example
 //!
@@ -50,7 +53,7 @@ pub mod symbolic;
 pub use detect::{detection_probabilities, exact_detection_probability, ExactDetector};
 pub use estimate::{exact_signal_probability, signal_probabilities};
 pub use fsim::{FaultSimulator, FsimOutcome};
-pub use length::{escape_probability, test_length, test_length_per_fault};
+pub use length::{escape_probability, test_length, test_length_par, test_length_per_fault};
 pub use list::{network_fault_list, stuck_fault_list, FaultEntry};
 pub use montecarlo::{
     mc_detection_probabilities, mc_detection_probabilities_par, mc_detection_probability,
@@ -59,8 +62,8 @@ pub use montecarlo::{
 pub use optimize::{
     optimize_input_probabilities, optimize_input_probabilities_par, OptimizeReport,
 };
-pub use parallel::{run_sharded, shard_ranges, Parallelism};
-pub use random::PatternSource;
+pub use parallel::{plan_shards, run_sharded, shard_ranges, Parallelism, ShardPlan};
+pub use random::{PatternSource, StreamSpan};
 pub use symbolic::{
     bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,
     bdd_test_pattern,

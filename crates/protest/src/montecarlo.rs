@@ -8,17 +8,22 @@
 //! observed frequency together with a normal-approximation confidence
 //! half-width, so PROTEST's test-length stage can keep working at scale.
 //!
-//! Both estimators are thread-sharded ([`crate::parallel`]) over the
-//! counter-based pattern stream: detection estimation shards the *fault
-//! list* (each worker owns an evaluator and replays the whole stream for
-//! its shard), signal estimation shards the *sample range* (hit counts
-//! over disjoint lane ranges add exactly). Either way the estimates are
-//! bit-identical to the serial path at any thread count.
+//! Both estimators are thread-sharded over the counter-based pattern
+//! stream along the axis the two-axis planner
+//! ([`crate::parallel::plan_shards`]) picks: detection estimation shards
+//! the *fault list* when it can feed every worker (each worker owns an
+//! evaluator and replays the whole stream for its shard) and falls back
+//! to the *sample-pass axis* in the few-fault regime; signal estimation
+//! has one target, so the planner always hands it the pass axis. Hit
+//! counts over disjoint pass ranges add exactly (integer sums), so
+//! either way the estimates are bit-identical to the serial path at any
+//! thread count.
 
 use crate::list::FaultEntry;
-use crate::parallel::{run_sharded, Parallelism};
+use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
+use std::ops::Range;
 
 /// Lane words per evaluator pass: 4 × 64 = 256 patterns per tape walk.
 const WIDTH: usize = 4;
@@ -88,8 +93,9 @@ pub fn mc_signal_probability(
     mc_signal_probability_par(net, target, pi_probs, seed, samples, Parallelism::default())
 }
 
-/// [`mc_signal_probability`] with an explicit thread policy. Samples are
-/// sharded over workers; the estimate is identical at any thread count.
+/// [`mc_signal_probability`] with an explicit thread policy. A single
+/// target net means the planner always shards the pass axis; the
+/// estimate is identical at any thread count.
 pub fn mc_signal_probability_par(
     net: &Network,
     target: NetId,
@@ -102,8 +108,8 @@ pub fn mc_signal_probability_par(
     let src = PatternSource::new(seed, pi_probs.to_vec());
     // One evaluator pass covers WIDTH * 64 samples.
     let passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
-    let threads = parallelism.resolve();
-    let hits: u64 = run_sharded(passes, threads, |pass_range| {
+    let workers = plan_shards(1, passes as u64, parallelism.resolve()).workers();
+    let hits: u64 = run_sharded(passes, workers, |pass_range| {
         let mut ev = PackedEvaluator::with_width(net, WIDTH);
         let mut batch = vec![0u64; src.input_count() * WIDTH];
         let mut hits = 0u64;
@@ -166,9 +172,11 @@ pub fn mc_detection_probabilities(
     mc_detection_probabilities_par(net, faults, pi_probs, seed, samples, Parallelism::default())
 }
 
-/// [`mc_detection_probabilities`] with an explicit thread policy. The
-/// fault list is sharded over workers replaying the same counter-based
-/// stream; estimates are identical at any thread count.
+/// [`mc_detection_probabilities`] with an explicit thread policy. Work
+/// is sharded along the planner's axis — fault slices replaying the same
+/// counter-based stream, or disjoint pass ranges covering every fault in
+/// the few-fault regime (hit counts add exactly); estimates are
+/// identical at any thread count either way.
 pub fn mc_detection_probabilities_par(
     net: &Network,
     faults: &[FaultEntry],
@@ -194,43 +202,74 @@ fn mc_detection_core(
         return Vec::new();
     }
     let src = PatternSource::new(seed, pi_probs.to_vec());
-    let threads = parallelism.resolve();
-    let shards = run_sharded(faults.len(), threads, |fault_range| {
-        let prepared: Vec<_> = faults[fault_range]
-            .iter()
-            .map(|f| net.prepare_fault(f))
-            .collect();
-        let mut ev = PackedEvaluator::with_width(net, WIDTH);
-        let mut batch = vec![0u64; src.input_count() * WIDTH];
-        let mut hits = vec![0u64; prepared.len()];
-        let mut diff = vec![0u64; WIDTH];
-        let mut masks = [0u64; WIDTH];
-        let mut drawn = 0u64;
-        let mut wide_pass = 0u64;
-        while drawn < samples {
-            src.fill_batch_wide_at(wide_pass * WIDTH as u64, WIDTH, &mut batch);
-            ev.eval(&batch);
-            let mut pass_drawn = 0u64;
-            for mask in &mut masks {
-                *mask = tail_mask(drawn + pass_drawn, samples);
-                pass_drawn += (samples - drawn - pass_drawn).min(64);
-            }
-            for (fi, p) in prepared.iter().enumerate() {
-                ev.fault_diff(p, &mut diff);
-                for (d, m) in diff.iter().zip(&masks) {
-                    hits[fi] += (d & m).count_ones() as u64;
-                }
-            }
-            drawn += pass_drawn;
-            wide_pass += 1;
-        }
-        hits
-    });
-    shards
+    let passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
+    let hits: Vec<u64> = match plan_shards(faults.len(), passes as u64, parallelism.resolve()) {
+        ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |fault_range| {
+            mc_detection_span(net, &faults[fault_range], &src, 0..passes, samples)
+        })
         .into_iter()
         .flatten()
+        .collect(),
+        ShardPlan::Patterns(workers) => {
+            let spans = run_sharded(passes, workers, |pass_range| {
+                mc_detection_span(net, faults, &src, pass_range, samples)
+            });
+            // Disjoint pass ranges: per-fault hit counts add exactly.
+            let mut hits = vec![0u64; faults.len()];
+            for span in spans {
+                for (h, s) in hits.iter_mut().zip(span) {
+                    *h += s;
+                }
+            }
+            hits
+        }
+    };
+    hits.into_iter()
         .map(|h| estimate_from_counts(h, samples))
         .collect()
+}
+
+/// The kernel both axes share: per-fault hit counts for `faults` over
+/// the wide evaluator passes `pass_range` of the stream (pass `p` covers
+/// samples `p * WIDTH * 64 ..`, tail-masked against `samples`). The
+/// fault axis calls it with the full pass range and a fault slice; the
+/// pattern axis with a pass slice and the full fault list.
+fn mc_detection_span(
+    net: &Network,
+    faults: &[NetworkFault],
+    src: &PatternSource,
+    pass_range: Range<usize>,
+    samples: u64,
+) -> Vec<u64> {
+    let prepared: Vec<_> = faults.iter().map(|f| net.prepare_fault(f)).collect();
+    let mut ev = PackedEvaluator::with_width(net, WIDTH);
+    let mut batch = vec![0u64; src.input_count() * WIDTH];
+    let mut hits = vec![0u64; prepared.len()];
+    let mut diff = vec![0u64; WIDTH];
+    let mut masks = [0u64; WIDTH];
+    for pass in pass_range {
+        let first_batch = pass as u64 * WIDTH as u64;
+        if first_batch * 64 >= samples {
+            break;
+        }
+        src.fill_batch_wide_at(first_batch, WIDTH, &mut batch);
+        ev.eval(&batch);
+        for (w, mask) in masks.iter_mut().enumerate() {
+            let drawn = (first_batch + w as u64) * 64;
+            *mask = if drawn >= samples {
+                0
+            } else {
+                tail_mask(drawn, samples)
+            };
+        }
+        for (fi, p) in prepared.iter().enumerate() {
+            ev.fault_diff(p, &mut diff);
+            for (d, m) in diff.iter().zip(&masks) {
+                hits[fi] += (d & m).count_ones() as u64;
+            }
+        }
+    }
+    hits
 }
 
 #[cfg(test)]
@@ -340,6 +379,28 @@ mod tests {
             assert_eq!(est, serial, "threads={threads}");
             let sig = mc_signal_probability_par(&net, po, &probs, 7, 10_123, par);
             assert_eq!(sig, sig_serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn few_fault_pattern_axis_estimates_match_serial() {
+        // 2 faults < threads: the planner shards the pass axis; exact
+        // integer hit sums keep the estimates bit-identical.
+        let net = c17_dynamic_nmos();
+        let faults: Vec<FaultEntry> = network_fault_list(&net).into_iter().take(2).collect();
+        let probs = vec![0.25, 0.5, 0.9375, 0.5, 0.75];
+        let serial =
+            mc_detection_probabilities_par(&net, &faults, &probs, 7, 50_123, Parallelism::Serial);
+        for threads in [4usize, 8, 16] {
+            let est = mc_detection_probabilities_par(
+                &net,
+                &faults,
+                &probs,
+                7,
+                50_123,
+                Parallelism::Fixed(threads),
+            );
+            assert_eq!(est, serial, "threads={threads}");
         }
     }
 

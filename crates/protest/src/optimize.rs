@@ -11,9 +11,12 @@
 //! derivative-free, and more than enough to reproduce the orders-of-
 //! magnitude effect on the paper-scale circuits (the objective is exact,
 //! via exhaustive detection probabilities). The objective's enumeration
-//! engine is thread-sharded over the fault list ([`crate::parallel`]),
-//! so the descent — hundreds of objective evaluations — scales with
-//! cores while staying bit-identical at any thread count.
+//! engine is thread-sharded along the axis the two-axis planner picks
+//! ([`crate::parallel::plan_shards`]): the fault list when it can feed
+//! every worker, or the enumeration's row-block axis when the descent
+//! has narrowed to a few hard faults — so the descent — hundreds of
+//! objective evaluations — scales with cores in both regimes while
+//! staying bit-identical at any thread count.
 
 use crate::detect::ExactDetector;
 use crate::length::test_length;

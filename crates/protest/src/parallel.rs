@@ -8,21 +8,45 @@
 //! pattern stream. No locks, no shared mutable state — the only
 //! synchronization is the final merge of per-shard counters.
 //!
+//! # Two work axes
+//!
+//! Every PROTEST kernel walks a (faults × patterns) work grid, and
+//! [`plan_shards`] picks which axis to cut:
+//!
+//! - **fault axis** (preferred): disjoint fault slices, each worker
+//!   replaying the whole pattern stream — the cheapest merge
+//!   (concatenation), chosen whenever the fault list can feed every
+//!   worker; or
+//! - **pattern axis**: when `faults < threads` (the few-fault regime —
+//!   single-hard-fault test-length runs, late-stage PODEM dropping),
+//!   disjoint **contiguous batch ranges of the counter-based stream**,
+//!   each worker simulating every fault over its range.
+//!
 //! # Determinism contract
 //!
 //! Every parallel entry point in this crate is **bit-identical to its
 //! serial form at any thread count**: same seed ⇒ same detection
 //! indices, same coverage curve, same escape set, same Monte Carlo
-//! estimates. Two design rules make this hold:
+//! estimates. Three design rules make this hold:
 //!
 //! 1. the pattern stream is counter-based ([`crate::PatternSource`]:
 //!    batch `b` is a pure function of `(seed, b)`), so workers regenerate
-//!    identical patterns instead of racing over one RNG; and
-//! 2. work is sharded **by fault, never by accumulator**: every
-//!    per-fault quantity (detection index, hit count, exact probability
-//!    sum) is computed start-to-finish by one worker in the same order
-//!    the serial loop uses, so even floating-point sums associate
-//!    identically.
+//!    identical patterns instead of racing over one RNG;
+//! 2. on the fault axis, every per-fault quantity (detection index, hit
+//!    count, exact probability sum) is computed start-to-finish by one
+//!    worker in the same order the serial loop uses, so even
+//!    floating-point sums associate identically; and
+//! 3. on the pattern axis, per-range results merge by an
+//!    order-independent rule — the **minimum detection index per fault**
+//!    across pattern shards (a fault's first detection over the whole
+//!    stream is the earliest of its first detections over any disjoint
+//!    cover of the stream; the coverage curve then reconstructs
+//!    order-independently from the merged indices), exact integer sums
+//!    for Monte Carlo hit counts, and ascending-order folds of
+//!    **fixed-size block partials** for floating-point sums (the block
+//!    boundaries are a property of the workload, never of the thread
+//!    count, so serial and sharded runs add the same partials in the
+//!    same order).
 //!
 //! # `Send`/`Sync` requirements
 //!
@@ -55,16 +79,97 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// Resolves to a concrete worker count (always at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `DYNMOS_THREADS` is set to a non-numeric value (see
+    /// [`parse_thread_override`]).
     pub fn resolve(self) -> usize {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => std::env::var("DYNMOS_THREADS")
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+            Parallelism::Auto => {
+                parse_thread_override(std::env::var("DYNMOS_THREADS").ok().as_deref())
+                    .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            }
         }
+    }
+}
+
+/// Interprets a raw `DYNMOS_THREADS` value. Unset, empty, or
+/// whitespace-only means "no override" (`None`); `0` clamps to 1 — a user
+/// setting `DYNMOS_THREADS=0` is throttling, and silently handing them
+/// *all cores* is the opposite of what they asked for.
+///
+/// # Panics
+///
+/// Panics on any other unparsable value: a typo in a CI throttle must
+/// fail loudly, not fan out onto every core of the runner.
+fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    let trimmed = raw?.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => Some(n.max(1)),
+        Err(_) => panic!(
+            "DYNMOS_THREADS must be a non-negative integer (unset or empty for all cores), \
+             got {trimmed:?}"
+        ),
+    }
+}
+
+/// Which axis of the (faults × patterns) work grid a kernel shards, and
+/// over how many workers — the output of [`plan_shards`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// Cut the fault list into contiguous slices, one per worker, each
+    /// replaying the whole pattern stream.
+    Faults(usize),
+    /// Cut the pattern axis (stream batches, Monte Carlo passes,
+    /// enumeration row blocks) into contiguous ranges, one per worker,
+    /// each covering the whole fault list.
+    Patterns(usize),
+}
+
+impl ShardPlan {
+    /// The planned worker count (at least 1 on either axis).
+    pub fn workers(self) -> usize {
+        match self {
+            ShardPlan::Faults(w) | ShardPlan::Patterns(w) => w.max(1),
+        }
+    }
+
+    /// `true` when the plan degenerates to the inline serial path.
+    pub fn is_serial(self) -> bool {
+        self.workers() <= 1
+    }
+}
+
+/// The two-axis planner: decides which axis of a (faults ×
+/// `pattern_units`) work grid to shard over up to `threads` workers.
+///
+/// The fault axis is preferred — its merge is a concatenation and every
+/// per-fault accumulator stays with one worker. The pattern axis takes
+/// over exactly in the **few-fault regime** (`faults < threads`), where
+/// fault sharding would idle most workers; `pattern_units` is whatever
+/// the kernel's pattern axis is made of (64-pattern stream batches,
+/// Monte Carlo wide passes, exact-enumeration row blocks), and workers
+/// never outnumber units. A kernel with no pattern axis to speak of
+/// passes `pattern_units = 1` and gets the fault axis (over at most
+/// `faults` workers) back.
+pub fn plan_shards(faults: usize, pattern_units: u64, threads: usize) -> ShardPlan {
+    let threads = threads.max(1);
+    if faults >= threads {
+        return ShardPlan::Faults(threads);
+    }
+    let pattern_workers = threads.min(usize::try_from(pattern_units).unwrap_or(usize::MAX));
+    if pattern_workers > 1 {
+        ShardPlan::Patterns(pattern_workers)
+    } else {
+        // Degenerate pattern axis: fall back to however many workers the
+        // fault list itself can feed.
+        ShardPlan::Faults(faults.min(threads).max(1))
     }
 }
 
@@ -166,5 +271,62 @@ mod tests {
         assert_eq!(Parallelism::Fixed(4).resolve(), 4);
         assert_eq!(Parallelism::Fixed(0).resolve(), 1);
         assert!(Parallelism::Auto.resolve() >= 1);
+    }
+
+    // The override parser is tested as a pure function: mutating the
+    // process-global DYNMOS_THREADS here would race every concurrently
+    // running test that resolves Parallelism::Auto.
+    #[test]
+    fn thread_override_parses_values() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("   ")), None);
+        assert_eq!(parse_thread_override(Some("3")), Some(3));
+        assert_eq!(parse_thread_override(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn thread_override_zero_means_one() {
+        // 0 is a throttle, not "all cores".
+        assert_eq!(parse_thread_override(Some("0")), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "DYNMOS_THREADS must be a non-negative integer")]
+    fn thread_override_garbage_panics() {
+        parse_thread_override(Some("lots"));
+    }
+
+    #[test]
+    #[should_panic(expected = "DYNMOS_THREADS must be a non-negative integer")]
+    fn thread_override_negative_panics() {
+        parse_thread_override(Some("-2"));
+    }
+
+    #[test]
+    fn planner_prefers_fault_axis_when_fed() {
+        assert_eq!(plan_shards(100, 1000, 4), ShardPlan::Faults(4));
+        assert_eq!(plan_shards(4, 1000, 4), ShardPlan::Faults(4));
+        assert_eq!(plan_shards(100, 0, 4), ShardPlan::Faults(4));
+    }
+
+    #[test]
+    fn planner_switches_to_pattern_axis_for_few_faults() {
+        assert_eq!(plan_shards(1, 1000, 8), ShardPlan::Patterns(8));
+        assert_eq!(plan_shards(3, 1000, 8), ShardPlan::Patterns(8));
+        // Workers never outnumber pattern units.
+        assert_eq!(plan_shards(1, 2, 8), ShardPlan::Patterns(2));
+    }
+
+    #[test]
+    fn planner_degenerate_axes_fall_back() {
+        // No pattern axis to cut: fault axis over what the list can feed.
+        assert_eq!(plan_shards(3, 1, 8), ShardPlan::Faults(3));
+        assert_eq!(plan_shards(0, 1, 8), ShardPlan::Faults(1));
+        assert_eq!(plan_shards(0, 1000, 8), ShardPlan::Patterns(8));
+        // Single thread: always the inline serial path.
+        assert!(plan_shards(10, 1000, 1).is_serial());
+        assert!(plan_shards(1, 1000, 1).is_serial());
+        assert!(plan_shards(0, 0, 0).is_serial());
     }
 }

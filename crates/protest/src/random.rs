@@ -28,6 +28,7 @@
 use dynmos_logic::PackedWeight;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::ops::Range;
 
 /// SplitMix64 finalizer: decorrelates batch indices before seeding.
 fn mix64(mut z: u64) -> u64 {
@@ -197,6 +198,51 @@ impl PatternSource {
             .map(|w| w.scalar_draw(self.scalar_rng.next_u64()))
             .collect()
     }
+
+    /// A borrowed view of the contiguous batch range
+    /// `batches.start .. batches.end` of the stream — the unit of work a
+    /// pattern-axis shard owns ([`crate::parallel::plan_shards`]). Spans
+    /// are independent of the cursor and of each other, so any number of
+    /// workers can walk disjoint spans concurrently and reproduce exactly
+    /// the patterns the serial cursor would have produced.
+    pub fn span(&self, batches: Range<u64>) -> StreamSpan<'_> {
+        StreamSpan {
+            source: self,
+            batches,
+        }
+    }
+}
+
+/// A range-addressable slice of a [`PatternSource`] stream: batches
+/// `batches.start .. batches.end`, shared immutably so pattern-axis
+/// workers can regenerate their range without touching the cursor.
+#[derive(Debug, Clone)]
+pub struct StreamSpan<'s> {
+    source: &'s PatternSource,
+    batches: Range<u64>,
+}
+
+impl StreamSpan<'_> {
+    /// Number of 64-pattern batches in the span.
+    pub fn len(&self) -> u64 {
+        self.batches.end.saturating_sub(self.batches.start)
+    }
+
+    /// `true` if the span covers no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Fills `out` with the `k`-th batch of the span (absolute stream
+    /// batch `batches.start + k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside the span or `out` has the wrong arity.
+    pub fn fill_batch(&self, k: u64, out: &mut [u64]) {
+        assert!(k < self.len(), "batch {k} outside span of {}", self.len());
+        self.source.fill_batch_at(self.batches.start + k, out);
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +355,47 @@ mod tests {
         assert_eq!(batch[1], u64::MAX);
         let pat = src.next_pattern();
         assert_eq!(pat, vec![false, true]);
+    }
+
+    #[test]
+    fn near_boundary_probabilities_stay_non_constant() {
+        // Regression: p within 2^-65 of a boundary must not lower to a
+        // constant stream — a stuck input makes every fault needing the
+        // rare value undetectable.
+        let tiny = (2.0f64).powi(-70);
+        let below_one = f64::from_bits(1.0f64.to_bits() - 1); // largest interior f64
+        let src = PatternSource::new(5, vec![tiny, below_one]);
+        assert_eq!(src.weights()[0], PackedWeight::Threshold(1));
+        assert_ne!(src.weights()[1], PackedWeight::One);
+        for w in src.weights() {
+            assert!(w.probability() > 0.0 && w.probability() < 1.0);
+        }
+    }
+
+    #[test]
+    fn spans_tile_the_stream() {
+        let mut seq = PatternSource::new(17, vec![0.5, 0.875, 0.25]);
+        let by_cursor: Vec<Vec<u64>> = (0..12).map(|_| seq.next_batch()).collect();
+        let src = PatternSource::new(17, vec![0.5, 0.875, 0.25]);
+        // Two disjoint spans reproduce exactly the cursor's batches.
+        let mut out = vec![0u64; 3];
+        for (range, offset) in [(0u64..5, 0usize), (5..12, 5)] {
+            let span = src.span(range.clone());
+            assert_eq!(span.len(), (range.end - range.start));
+            for k in 0..span.len() {
+                span.fill_batch(k, &mut out);
+                assert_eq!(out, by_cursor[offset + k as usize], "batch {k}");
+            }
+        }
+        assert!(src.span(4..4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside span")]
+    fn span_rejects_out_of_range_batch() {
+        let src = PatternSource::uniform(1, 2);
+        let mut out = vec![0u64; 2];
+        src.span(3..5).fill_batch(2, &mut out);
     }
 
     #[test]

@@ -71,6 +71,125 @@ fn parallel_fsim_is_bit_identical_to_serial() {
     }
 }
 
+/// The two-axis planner satellite: fault-sharded (500 faults), the
+/// boundary (3 faults), and pattern-sharded (1 fault) runs on the
+/// ISCAS-scale adder must all be bit-identical to serial at every thread
+/// count — whichever axis the planner cuts for each (fault count,
+/// thread count) pair.
+#[test]
+fn few_fault_pattern_axis_is_bit_identical_to_serial() {
+    let net = ripple_adder(80); // 400 gates
+    let all = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    // Heavily biased weights keep hard-fault tails live deep into the
+    // budget, so pattern shards do real work over their whole ranges.
+    let probs = vec![0.0625f64; n];
+    for fault_count in [1usize, 3, 500] {
+        let faults: Vec<FaultEntry> = all.iter().take(fault_count).cloned().collect();
+        let mut serial_src = PatternSource::new(0xFACE, probs.clone());
+        let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &faults,
+            &mut serial_src,
+            5000, // non-multiple of 64: the final-batch lane mask crosses axes
+        );
+        for threads in THREAD_COUNTS {
+            let mut src = PatternSource::new(0xFACE, probs.clone());
+            let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
+            let out = sim.run_random(&faults, &mut src, 5000);
+            assert_eq!(
+                out.detected_at, serial.detected_at,
+                "{fault_count} faults: detection indices differ at {threads} threads"
+            );
+            assert_eq!(
+                out.patterns_applied, serial.patterns_applied,
+                "{fault_count} faults: pattern counts differ at {threads} threads"
+            );
+            assert_eq!(
+                out.coverage_curve, serial.coverage_curve,
+                "{fault_count} faults: coverage curves differ at {threads} threads"
+            );
+            assert_eq!(
+                out.escapes(),
+                serial.escapes(),
+                "{fault_count} faults: escape sets differ at {threads} threads"
+            );
+            assert_eq!(
+                src.position(),
+                serial_src.position(),
+                "{fault_count} faults: stream cursors differ at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A single hard fault — the exact workload the pattern axis exists for:
+/// test-length validation of one optimized-weight fault. Pick the last
+/// detected fault under the biased stream and rerun it alone.
+#[test]
+fn few_fault_single_hard_fault_detection_index_is_stable() {
+    let net = ripple_adder(80);
+    let all = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    let probs = vec![0.0625f64; n];
+    let mut probe_src = PatternSource::new(0xBEEF, probs.clone());
+    let probe = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+        &all,
+        &mut probe_src,
+        5000,
+    );
+    // Hardest = latest first detection (escapes would be even harder but
+    // give no index to compare shard merges against).
+    let (hardest, _) = probe
+        .detected_at
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)
+        .expect("some fault detected");
+    let lone = vec![all[hardest].clone()];
+    let mut serial_src = PatternSource::new(0xBEEF, probs.clone());
+    let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+        &lone,
+        &mut serial_src,
+        5000,
+    );
+    assert!(serial.detected_at[0].is_some());
+    for threads in THREAD_COUNTS {
+        let mut src = PatternSource::new(0xBEEF, probs.clone());
+        let out = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads))
+            .run_random(&lone, &mut src, 5000);
+        assert_eq!(out.detected_at, serial.detected_at, "threads={threads}");
+        assert_eq!(out.patterns_applied, serial.patterns_applied);
+        assert_eq!(src.position(), serial_src.position());
+    }
+}
+
+/// Few-fault Monte Carlo detection estimates cross the same planner:
+/// pass-axis hit counts must add back to the serial estimates exactly.
+#[test]
+fn few_fault_monte_carlo_is_bit_identical_to_serial() {
+    let net = ripple_adder(24);
+    let all = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    let probs: Vec<f64> = (0..n).map(|i| [0.9375, 0.5, 0.25][i % 3]).collect();
+    for fault_count in [1usize, 2] {
+        let faults: Vec<FaultEntry> = all.iter().take(fault_count).cloned().collect();
+        let serial =
+            mc_detection_probabilities_par(&net, &faults, &probs, 42, 9_999, Parallelism::Serial);
+        for threads in THREAD_COUNTS {
+            let est = mc_detection_probabilities_par(
+                &net,
+                &faults,
+                &probs,
+                42,
+                9_999,
+                Parallelism::Fixed(threads),
+            );
+            assert_eq!(est, serial, "{fault_count} faults at {threads} threads");
+        }
+    }
+}
+
 #[test]
 fn parallel_fsim_covers_large_circuits() {
     // Sanity beyond equality: the sharded simulator actually detects
