@@ -21,7 +21,7 @@ pub mod podem;
 pub mod tri;
 
 pub use podem::{
-    apply_twice, generate_test, generate_test_set, generate_test_set_par, AtpgOutcome,
-    TestSetReport,
+    apply_twice, generate_test, generate_test_set, generate_test_set_budgeted,
+    generate_test_set_par, AtpgCheckpoint, AtpgOutcome, AtpgRun, TestSetReport,
 };
 pub use tri::Tri;

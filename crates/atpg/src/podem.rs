@@ -14,7 +14,10 @@
 
 use crate::tri::{eval_tri, Tri};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator};
-use dynmos_protest::{plan_shards, run_sharded, FaultEntry, Parallelism, ShardPlan};
+use dynmos_protest::{
+    env_budget_ms, plan_shards, run_sharded, FaultEntry, Parallelism, RunBudget, RunStatus,
+    ShardPlan, StopReason,
+};
 
 /// Result of a single-fault ATPG run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -381,6 +384,90 @@ pub fn generate_test_set_par(
     max_backtracks: u64,
     parallelism: Parallelism,
 ) -> TestSetReport {
+    if let Some(ms) = env_budget_ms() {
+        // The CI knob: run the generation as an interrupt/resume loop
+        // with a per-leg deadline. The fault walk is serial and
+        // restarts exactly where it stopped, so the report is
+        // identical to the uninterrupted run's.
+        let leg = || RunBudget::deadline_in(std::time::Duration::from_millis(ms));
+        let mut run =
+            generate_test_set_budgeted(net, faults, max_backtracks, parallelism, &leg(), None);
+        while let Some(cp) = run.checkpoint.take() {
+            run = generate_test_set_budgeted(
+                net,
+                faults,
+                max_backtracks,
+                parallelism,
+                &leg(),
+                Some(cp),
+            );
+        }
+        return run.report;
+    }
+    generate_test_set_budgeted(
+        net,
+        faults,
+        max_backtracks,
+        parallelism,
+        &RunBudget::unlimited(),
+        None,
+    )
+    .report
+}
+
+/// Resumable state of an interrupted [`generate_test_set_budgeted`]
+/// run: the next fault to target plus everything accumulated so far.
+#[derive(Debug, Clone)]
+pub struct AtpgCheckpoint {
+    next_fault: usize,
+    covered: Vec<bool>,
+    tests: Vec<Vec<bool>>,
+    redundant: Vec<String>,
+    aborted: Vec<String>,
+}
+
+impl AtpgCheckpoint {
+    /// How many fault-list entries the run has walked past.
+    pub fn faults_done(&self) -> usize {
+        self.next_fault
+    }
+}
+
+/// Outcome of a budgeted PODEM whole-list run: the (possibly partial)
+/// report, whether it finished, and — when interrupted — the
+/// checkpoint to resume from.
+#[derive(Debug, Clone)]
+pub struct AtpgRun {
+    /// Tests, redundancies and aborts accumulated so far. Partial
+    /// reports are valid prefixes of the complete run's.
+    pub report: TestSetReport,
+    /// [`RunStatus::Completed`], or why the walk stopped.
+    pub status: RunStatus,
+    /// Present exactly when interrupted; feed it back as `resume` to
+    /// continue. The completed resumed run's report is identical to an
+    /// uninterrupted run's.
+    pub checkpoint: Option<AtpgCheckpoint>,
+}
+
+/// [`generate_test_set_par`] under a [`RunBudget`], optionally resuming
+/// from a prior run's checkpoint. The budget is checked between target
+/// faults (one PODEM search plus one dropping pass is the atom of
+/// work), after at least one has been processed — forward progress, so
+/// a resume loop under an always-expired budget still terminates. The
+/// walk is deterministic, so interruption points never change the
+/// final report.
+///
+/// # Panics
+///
+/// Panics if `resume` comes from a run over a different fault list.
+pub fn generate_test_set_budgeted(
+    net: &Network,
+    faults: &[FaultEntry],
+    max_backtracks: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    resume: Option<AtpgCheckpoint>,
+) -> AtpgRun {
     // One compiled evaluator and one prepared fault apiece serve the
     // whole dropping loop; each new test diffs only the still-uncovered
     // faults, and only their fanout cones.
@@ -389,14 +476,40 @@ pub fn generate_test_set_par(
     let n = net.primary_inputs().len();
     let threads = parallelism.resolve();
     let mut batch = vec![0u64; n];
-    let mut covered = vec![false; faults.len()];
-    let mut uncovered_count = faults.len();
+    let (start, mut covered, mut tests, mut redundant, mut aborted) = match resume {
+        Some(cp) => {
+            assert_eq!(
+                cp.covered.len(),
+                faults.len(),
+                "checkpoint fault count mismatch"
+            );
+            (
+                cp.next_fault,
+                cp.covered,
+                cp.tests,
+                cp.redundant,
+                cp.aborted,
+            )
+        }
+        None => (
+            0,
+            vec![false; faults.len()],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        ),
+    };
+    let mut uncovered_count = covered.iter().filter(|&&c| !c).count();
     // Scratch for the sharded path, allocated once per call.
     let mut uncovered: Vec<usize> = Vec::new();
-    let mut tests: Vec<Vec<bool>> = Vec::new();
-    let mut redundant = Vec::new();
-    let mut aborted = Vec::new();
-    for (i, entry) in faults.iter().enumerate() {
+    let mut stop: Option<(usize, StopReason)> = None;
+    for (i, entry) in faults.iter().enumerate().skip(start) {
+        if i > start {
+            if let Some(reason) = run_budget.stop_requested() {
+                stop = Some((i, reason));
+                break;
+            }
+        }
         if covered[i] {
             continue;
         }
@@ -444,10 +557,31 @@ pub fn generate_test_set_par(
             AtpgOutcome::Aborted => aborted.push(entry.label.clone()),
         }
     }
-    TestSetReport {
-        tests,
-        redundant,
-        aborted,
+    match stop {
+        Some((next_fault, reason)) => AtpgRun {
+            report: TestSetReport {
+                tests: tests.clone(),
+                redundant: redundant.clone(),
+                aborted: aborted.clone(),
+            },
+            status: RunStatus::Interrupted(reason),
+            checkpoint: Some(AtpgCheckpoint {
+                next_fault,
+                covered,
+                tests,
+                redundant,
+                aborted,
+            }),
+        },
+        None => AtpgRun {
+            report: TestSetReport {
+                tests,
+                redundant,
+                aborted,
+            },
+            status: RunStatus::Completed,
+            checkpoint: None,
+        },
     }
 }
 
@@ -592,5 +726,47 @@ mod tests {
                 AtpgOutcome::Test(_)
             ));
         }
+    }
+
+    #[test]
+    fn interrupted_generation_resumes_identically() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let net = c17_dynamic_nmos();
+        let faults = network_fault_list(&net);
+        let reference = generate_test_set(&net, &faults, 0);
+        // A pre-raised cancel flag forces one fault of progress per
+        // leg; lowering it mid-loop proves partial reports are valid
+        // prefixes and the final report is identical.
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = RunBudget::unlimited().with_cancel(flag.clone());
+        let mut run =
+            generate_test_set_budgeted(&net, &faults, 0, Parallelism::Serial, &cancelled, None);
+        let mut legs = 0usize;
+        while let Some(cp) = run.checkpoint.take() {
+            legs += 1;
+            assert_eq!(
+                run.status,
+                RunStatus::Interrupted(StopReason::Cancelled),
+                "leg {legs}"
+            );
+            assert!(run.report.tests.len() <= reference.tests.len());
+            if legs == 3 {
+                flag.store(false, Ordering::Relaxed);
+            }
+            run = generate_test_set_budgeted(
+                &net,
+                &faults,
+                0,
+                Parallelism::Serial,
+                &cancelled,
+                Some(cp),
+            );
+        }
+        assert!(legs >= 3, "expected several interrupted legs, got {legs}");
+        assert!(run.status.is_complete());
+        assert_eq!(run.report.tests, reference.tests);
+        assert_eq!(run.report.redundant, reference.redundant);
+        assert_eq!(run.report.aborted, reference.aborted);
     }
 }

@@ -104,17 +104,18 @@ impl BenchGate {
         }
     }
 
-    /// Checks the fan-in count: NOT/BUF are unary, everything else needs
-    /// at least two operands (XOR/XNOR fold pairwise).
-    fn arity_ok(self, n: usize) -> bool {
-        match self {
-            BenchGate::Not | BenchGate::Buf => n == 1,
-            _ => n >= 2,
+    /// The direct logic function over `n` dense variables, or `None`
+    /// when the fan-in count is unsupported (NOT/BUF are unary,
+    /// everything else needs at least two operands; XOR/XNOR fold
+    /// pairwise). Folding the arity check into the constructor keeps
+    /// the function structurally panic-free: a zero-arg `NOT()` line
+    /// can only produce a parse error, never an index past an empty
+    /// operand list.
+    fn function(self, n: usize) -> Option<Bexpr> {
+        let unary = matches!(self, BenchGate::Not | BenchGate::Buf);
+        if (unary && n != 1) || (!unary && n < 2) {
+            return None;
         }
-    }
-
-    /// The direct logic function over `n` dense variables.
-    fn function(self, n: usize) -> Bexpr {
         let vars: Vec<Bexpr> = (0..n).map(|i| Bexpr::var(VarId(i as u32))).collect();
         let parity = |negate: bool| {
             let mut acc = vars[0].clone();
@@ -130,16 +131,16 @@ impl BenchGate {
                 acc
             }
         };
-        match self {
+        Some(match self {
             BenchGate::And => Bexpr::and(vars),
             BenchGate::Nand => Bexpr::not(Bexpr::and(vars)),
             BenchGate::Or => Bexpr::or(vars),
             BenchGate::Nor => Bexpr::not(Bexpr::or(vars)),
             BenchGate::Xor => parity(false),
             BenchGate::Xnor => parity(true),
-            BenchGate::Not => Bexpr::not(vars.into_iter().next().expect("unary")),
-            BenchGate::Buf => vars.into_iter().next().expect("unary"),
-        }
+            BenchGate::Not => Bexpr::not(vars.into_iter().next()?),
+            BenchGate::Buf => vars.into_iter().next()?,
+        })
     }
 
     fn cell_name(self, n: usize) -> String {
@@ -157,11 +158,13 @@ impl BenchGate {
     }
 }
 
-/// A parsed `sig = GATE(a, b, …)` line.
+/// A parsed `sig = GATE(a, b, …)` line, with its logic function
+/// already constructed (arity validated at parse time).
 struct GateDef {
     output: String,
     gate: BenchGate,
     inputs: Vec<String>,
+    function: Bexpr,
 }
 
 /// Parses a `.bench` netlist into a combinational [`Network`] of bipolar
@@ -223,13 +226,14 @@ pub fn parse_bench(text: &str) -> Result<Network, ParseBenchError> {
             .map(|s| s.trim().to_owned())
             .filter(|s| !s.is_empty())
             .collect();
-        if !gate.arity_ok(operands.len()) {
+        let Some(function) = gate.function(operands.len()) else {
             return Err(ParseBenchError::BadArity(output));
-        }
+        };
         defs.push(GateDef {
             output,
             gate,
             inputs: operands,
+            function,
         });
     }
 
@@ -286,7 +290,7 @@ pub fn parse_bench(text: &str) -> Result<Network, ParseBenchError> {
                     &d.gate.cell_name(d.inputs.len()),
                     Technology::Bipolar,
                     &refs,
-                    d.gate.function(d.inputs.len()),
+                    d.function.clone(),
                 ))
             });
             let input_nets: Vec<_> = d.inputs.iter().map(|i| nets[i]).collect();
@@ -446,5 +450,46 @@ mod tests {
             parse_bench("INPUT(a)\nOUTPUT(z)\nz AND a\n"),
             Err(ParseBenchError::BadLine(_))
         ));
+    }
+
+    #[test]
+    fn zero_arg_gates_are_parse_errors_not_panics() {
+        // `NOT()`/`BUFF()` once reached an `.expect("unary")` past the
+        // empty operand list; arity now folds into function
+        // construction, so they can only be parse errors.
+        for line in ["z = NOT()", "z = BUFF()", "z = AND()", "z = XOR()"] {
+            let text = format!("INPUT(a)\nOUTPUT(z)\n{line}\n");
+            assert!(
+                matches!(parse_bench(&text), Err(ParseBenchError::BadArity(_))),
+                "{line}"
+            );
+        }
+        // A lone operand is too few for the n-ary gates too.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a)\n"),
+            Err(ParseBenchError::BadArity(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_definitions_are_rejected() {
+        assert!(matches!(
+            parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"),
+            Err(ParseBenchError::Redefined(_))
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NOT(a)\nz = NOT(b)\n"),
+            Err(ParseBenchError::Redefined(_))
+        ));
+    }
+
+    #[test]
+    fn weird_but_wellformed_surface_still_parses() {
+        // Comment-only operands lists, stray spaces, and trailing
+        // comments exercise the tokenizer's trim paths.
+        let net =
+            parse_bench("  INPUT( a ) # pi\nINPUT(b)\nOUTPUT( z )\nz =  NAND ( a ,  b )  # gate\n")
+                .unwrap();
+        assert_eq!(net.eval(&[true, true]), vec![false]);
     }
 }

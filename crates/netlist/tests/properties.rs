@@ -3,7 +3,9 @@
 use dynmos_logic::{Bexpr, VarId};
 use dynmos_netlist::generate::{random_domino_cell, random_domino_network, random_sp_expr};
 use dynmos_netlist::to_switch::domino_to_switch;
-use dynmos_netlist::{Cell, GateRef, Network, NetworkFault, PackedEvaluator, Technology};
+use dynmos_netlist::{
+    parse_bench, Cell, GateRef, Network, NetworkFault, PackedEvaluator, Technology, C17_BENCH,
+};
 use dynmos_switch::Sim;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -222,5 +224,28 @@ proptest! {
         prop_assert_eq!(a.transmission(), b.transmission());
         prop_assert_eq!(a.technology(), Technology::DominoCmos);
         let _ : &Cell = &a;
+    }
+
+    /// `parse_bench` never panics: arbitrary byte soup is either a
+    /// network or a structured parse error, never an abort.
+    #[test]
+    fn parse_bench_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_bench(&text);
+    }
+
+    /// Mutated well-formed netlists (truncations and single-byte edits
+    /// of the c17 fixture) also parse or error, never panic — this
+    /// hits the "almost valid" surface byte soup rarely reaches.
+    #[test]
+    fn parse_bench_never_panics_on_mutated_fixture(cut in 0usize..400, pos in 0usize..400, byte in any::<u8>()) {
+        let mut text = C17_BENCH.as_bytes().to_vec();
+        text.truncate(cut.min(text.len()));
+        if !text.is_empty() {
+            let at = pos % text.len();
+            text[at] = byte;
+        }
+        let text = String::from_utf8_lossy(&text);
+        let _ = parse_bench(&text);
     }
 }

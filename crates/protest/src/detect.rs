@@ -12,9 +12,44 @@
 //! sweeps reuse one detector (and its prepared faults) across hundreds of
 //! objective evaluations.
 
+use crate::budget::{RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator, PreparedFault};
+
+/// How a [`DetectionEstimate`] was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateMethod {
+    /// Exact weighted enumeration of the whole input space.
+    Exact,
+    /// Monte-Carlo estimation: the row space exceeded
+    /// [`RunBudget::effective_exact_rows`], so the exact path was
+    /// refused and the sampler ran instead.
+    MonteCarlo,
+}
+
+/// A detection probability with its provenance. Exact enumerations
+/// report a zero standard error; Monte-Carlo fallbacks report the
+/// binomial standard error of their sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionEstimate {
+    /// The detection probability (exact value or sample mean).
+    pub value: f64,
+    /// Standard error of `value` (0 for the exact method).
+    pub std_error: f64,
+    /// Which path produced `value`.
+    pub method: EstimateMethod,
+}
+
+/// The number of enumeration rows for `inputs` primary inputs, or
+/// `None` when `2^inputs` does not even fit in a `u64`.
+pub(crate) fn row_space(inputs: usize) -> Option<u64> {
+    if inputs >= 64 {
+        None
+    } else {
+        Some(1u64 << inputs)
+    }
+}
 
 /// Exact detection probability of one fault by weighted exhaustive
 /// enumeration (inputs independent with probabilities `pi_probs`).
@@ -102,6 +137,12 @@ const PARALLEL_ROWS_MIN: u64 = 1 << 12;
 /// worker enough work to pay for its evaluator.
 const ROW_BLOCK: u64 = 1 << 12;
 
+/// Blocks per budgeted chunk: [`ExactDetector::try_probabilities`]
+/// checks its [`RunBudget`] only between groups of this many row
+/// blocks (`16 * 4096 = 65536` rows), so check frequency is a property
+/// of the workload, never of the thread count.
+const CHUNK_BLOCKS: u64 = 16;
+
 impl<'n> ExactDetector<'n> {
     /// A detector for a fault list, with the default thread policy
     /// ([`Parallelism::Auto`]).
@@ -152,7 +193,119 @@ impl<'n> ExactDetector<'n> {
         let n = self.net.primary_inputs().len();
         assert!(n <= 24, "exact enumeration over {n} inputs is infeasible");
         assert_eq!(pi_probs.len(), n, "need one probability per primary input");
-        let rows = 1u64 << n;
+        self.enumerate_all(pi_probs, 1u64 << n)
+    }
+
+    /// [`Self::probabilities`] under a [`RunBudget`]. A row space
+    /// larger than [`RunBudget::effective_exact_rows`] is refused up
+    /// front with [`StopReason::RowCap`] — no work is done, so callers
+    /// can degrade to Monte Carlo (see
+    /// [`detection_probability_estimates`]). A deadline, cancellation
+    /// flag, or pattern cap turns the enumeration into a chunked walk
+    /// checked every [`CHUNK_BLOCKS`] row blocks; block partials are
+    /// folded into the running totals in ascending block order, so a
+    /// completed budgeted run is bit-identical to [`Self::probabilities`]
+    /// at any thread count. Exact enumeration has no resumable
+    /// checkpoint — an interrupted walk returns the [`StopReason`] and
+    /// discards its partial sums (a prefix of the row space is not an
+    /// estimate of anything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity of `pi_probs` is wrong.
+    pub fn try_probabilities(
+        &mut self,
+        pi_probs: &[f64],
+        run_budget: &RunBudget,
+    ) -> Result<Vec<f64>, StopReason> {
+        let n = self.net.primary_inputs().len();
+        assert_eq!(pi_probs.len(), n, "need one probability per primary input");
+        let rows = match row_space(n) {
+            Some(rows) if rows <= run_budget.effective_exact_rows() => rows,
+            _ => return Err(StopReason::RowCap),
+        };
+        if run_budget.is_unlimited() {
+            return Ok(self.enumerate_all(pi_probs, rows));
+        }
+        let blocks = rows.div_ceil(ROW_BLOCK);
+        let threads = self.parallelism.resolve();
+        let mut totals = vec![0.0f64; self.prepared.len()];
+        let mut next = 0u64;
+        while next < blocks {
+            let end = (next + CHUNK_BLOCKS).min(blocks);
+            let chunk_len = (end - next) as usize;
+            let shard = threads > 1 && rows >= PARALLEL_ROWS_MIN && chunk_len > 1;
+            let partials: Vec<Vec<f64>> = if shard {
+                let net = self.net;
+                let prepared = &self.prepared;
+                let base = next;
+                run_sharded(chunk_len, threads.min(chunk_len), |block_range| {
+                    let mut ev = PackedEvaluator::new(net);
+                    let mut pi_words = vec![0u64; n];
+                    let mut weights = [0.0f64; 64];
+                    let mut out = Vec::with_capacity(block_range.len());
+                    for rel in block_range {
+                        let b = base + rel as u64;
+                        let mut block = vec![0.0f64; prepared.len()];
+                        enumerate_block_into(
+                            prepared,
+                            pi_probs,
+                            b * ROW_BLOCK..((b + 1) * ROW_BLOCK).min(rows),
+                            &mut ev,
+                            &mut pi_words,
+                            &mut weights,
+                            &mut block,
+                        );
+                        out.push(block);
+                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                let mut out = Vec::with_capacity(chunk_len);
+                for b in next..end {
+                    let mut block = vec![0.0f64; self.prepared.len()];
+                    enumerate_block_into(
+                        &self.prepared,
+                        pi_probs,
+                        b * ROW_BLOCK..((b + 1) * ROW_BLOCK).min(rows),
+                        &mut self.ev,
+                        &mut self.pi_words,
+                        &mut self.weights,
+                        &mut block,
+                    );
+                    out.push(block);
+                }
+                out
+            };
+            // Ascending-order fold into the running totals: the same
+            // summation tree as `fold_blocks`, so neither chunking nor
+            // sharding is visible in the result.
+            for block in partials {
+                for (t, p) in totals.iter_mut().zip(&block) {
+                    *t += p;
+                }
+            }
+            next = end;
+            if next < blocks {
+                if let Some(reason) = run_budget.stop_requested() {
+                    return Err(reason);
+                }
+            }
+        }
+        for t in &mut totals {
+            *t = t.clamp(0.0, 1.0);
+        }
+        Ok(totals)
+    }
+
+    /// The unbudgeted whole-space enumeration behind
+    /// [`Self::probabilities`]: sharded along the planner's axis, with
+    /// every merge reproducing the ascending-block-order fold.
+    fn enumerate_all(&mut self, pi_probs: &[f64], rows: u64) -> Vec<f64> {
+        let n = self.net.primary_inputs().len();
         let blocks = rows.div_ceil(ROW_BLOCK);
         let plan = plan_shards(self.prepared.len(), blocks, self.parallelism.resolve());
         let mut totals = if plan.is_serial() || rows < PARALLEL_ROWS_MIN {
@@ -225,6 +378,70 @@ impl<'n> ExactDetector<'n> {
             *t = t.clamp(0.0, 1.0);
         }
         totals
+    }
+}
+
+/// Detection probabilities with graceful exact→Monte-Carlo
+/// degradation: the exact enumeration runs when the row space fits
+/// [`RunBudget::effective_exact_rows`]; otherwise the walk is refused
+/// up front and the Monte-Carlo estimator runs instead, with a sample
+/// budget tied to the refused enumeration size (the row cap clamped to
+/// `[2^12, 2^20]` samples). Each returned [`DetectionEstimate`] labels
+/// which path produced it, so callers can report standard errors for
+/// sampled values. A deadline/cancellation interrupt in either path
+/// surfaces as `Err(StopReason)`.
+///
+/// # Panics
+///
+/// Panics if the arity of `pi_probs` is wrong.
+pub fn detection_probability_estimates(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    seed: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+) -> Result<Vec<DetectionEstimate>, StopReason> {
+    let n = net.primary_inputs().len();
+    assert_eq!(pi_probs.len(), n, "need one probability per primary input");
+    if faults.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cap = run_budget.effective_exact_rows();
+    if row_space(n).is_some_and(|rows| rows <= cap) {
+        let mut det = ExactDetector::new(net, faults);
+        det.set_parallelism(parallelism);
+        let values = det.try_probabilities(pi_probs, run_budget)?;
+        return Ok(values
+            .into_iter()
+            .map(|value| DetectionEstimate {
+                value,
+                std_error: 0.0,
+                method: EstimateMethod::Exact,
+            })
+            .collect());
+    }
+    let samples = cap.clamp(1 << 12, 1 << 20);
+    let run = crate::montecarlo::mc_detection_probabilities_budgeted(
+        net,
+        faults,
+        pi_probs,
+        seed,
+        samples,
+        parallelism,
+        run_budget,
+    );
+    match run.status {
+        RunStatus::Completed => Ok(run
+            .estimates
+            .into_iter()
+            .map(|e| DetectionEstimate {
+                value: e.value,
+                std_error: e.std_error(),
+                method: EstimateMethod::MonteCarlo,
+            })
+            .collect()),
+        RunStatus::Interrupted(reason) => Err(reason),
     }
 }
 
@@ -448,5 +665,104 @@ mod tests {
         let net = and_or_tree(5); // 32 inputs
         let list = network_fault_list(&net);
         exact_detection_probability(&net, &list[0].fault, &vec![0.5; 32]);
+    }
+
+    #[test]
+    fn budgeted_enumeration_matches_unbudgeted() {
+        // A live deadline forces the chunked walk; a completed budgeted
+        // run must be bit-identical to the single-pass enumeration at
+        // any thread count.
+        let net = single_cell_network(domino_wide_and(13));
+        let list = network_fault_list(&net);
+        let probs: Vec<f64> = (0..13).map(|i| 0.25 + 0.05 * (i % 10) as f64).collect();
+        let mut det = ExactDetector::new(&net, &list);
+        det.set_parallelism(Parallelism::Serial);
+        let reference = det.probabilities(&probs);
+        let far = RunBudget::deadline_in(std::time::Duration::from_secs(3600));
+        for threads in [1usize, 2, 4] {
+            det.set_parallelism(Parallelism::Fixed(threads));
+            let got = det.try_probabilities(&probs, &far).expect("completes");
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn over_cap_refuses_up_front() {
+        let net = single_cell_network(domino_wide_and(13)); // 8192 rows
+        let list = network_fault_list(&net);
+        let mut det = ExactDetector::new(&net, &list);
+        let tight = RunBudget::unlimited().with_max_exact_rows(1 << 10);
+        assert_eq!(
+            det.try_probabilities(&vec![0.5; 13], &tight),
+            Err(StopReason::RowCap)
+        );
+    }
+
+    #[test]
+    fn cancelled_enumeration_reports_interrupt() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A 19-input adder: 2^19 rows = 128 blocks = 8 chunks. The
+        // pre-raised flag is honored at the first chunk boundary,
+        // after forward progress.
+        let net = dynmos_netlist::generate::ripple_adder(9);
+        let n = net.primary_inputs().len();
+        assert!(n > 16, "need a multi-chunk row space, got {n} inputs");
+        let list: Vec<_> = network_fault_list(&net).into_iter().take(2).collect();
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut det = ExactDetector::new(&net, &list);
+        let cancelled = RunBudget::unlimited().with_cancel(flag);
+        assert_eq!(
+            det.try_probabilities(&vec![0.5; n], &cancelled),
+            Err(StopReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn estimates_are_exact_within_cap() {
+        let net = single_cell_network(domino_wide_and(8));
+        let list = network_fault_list(&net);
+        let probs = vec![0.5; 8];
+        let exact = detection_probabilities(&net, &list, &probs);
+        let est = detection_probability_estimates(
+            &net,
+            &list,
+            &probs,
+            0xFACE,
+            Parallelism::Serial,
+            &RunBudget::unlimited(),
+        )
+        .expect("completes");
+        assert_eq!(est.len(), exact.len());
+        for (e, x) in est.iter().zip(&exact) {
+            assert_eq!(e.method, EstimateMethod::Exact);
+            assert_eq!(e.std_error, 0.0);
+            assert_eq!(e.value, *x);
+        }
+    }
+
+    #[test]
+    fn estimates_degrade_to_monte_carlo_over_cap() {
+        // 32 inputs: 2^32 rows exceed any cap — the old path panicked
+        // ("infeasible"); the estimator now degrades to Monte Carlo
+        // and reports a standard error. A tight row cap keeps the
+        // fallback sample budget (cap clamped to [2^12, 2^20]) small.
+        let net = and_or_tree(5);
+        let list: Vec<_> = network_fault_list(&net).into_iter().take(4).collect();
+        let est = detection_probability_estimates(
+            &net,
+            &list,
+            &vec![0.5; 32],
+            0xDAC0,
+            Parallelism::Serial,
+            &RunBudget::unlimited().with_max_exact_rows(1 << 12),
+        )
+        .expect("completes");
+        assert_eq!(est.len(), list.len());
+        assert!(est.iter().all(|e| e.method == EstimateMethod::MonteCarlo));
+        assert!(est.iter().all(|e| (0.0..=1.0).contains(&e.value)));
+        // The tree's faults are all detectable under uniform inputs;
+        // a nonzero sample mean carries a nonzero standard error.
+        assert!(est.iter().any(|e| e.value > 0.0 && e.std_error > 0.0));
     }
 }

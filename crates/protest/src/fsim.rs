@@ -28,10 +28,18 @@
 //! **bit-identical to the serial run at any thread count** (see the
 //! determinism contract in [`crate::parallel`]).
 
+use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{Network, PackedEvaluator};
+use std::time::Duration;
+
+/// Stream batches per budgeted chunk (256 batches = 16384 patterns):
+/// the granularity at which budgets are checked and checkpoints land.
+/// A property of the workload, never of the thread count — chunking is
+/// invisible to the merged result (see [`crate::parallel`]).
+const CHUNK_BATCHES: u64 = 256;
 
 /// Result of a fault-simulation run.
 #[derive(Debug, Clone)]
@@ -107,6 +115,56 @@ fn merge_min_detection(
     merged
 }
 
+/// Resumable state of an interrupted [`FaultSimulator::run_random`]:
+/// the stream position the run started at, how many batches are fully
+/// simulated, and the per-fault detection state so far. Feeding it to
+/// [`FaultSimulator::resume_random`] continues the identical walk — the
+/// completed result is bit-identical to an uninterrupted serial run.
+#[derive(Debug, Clone)]
+pub struct FsimCheckpoint {
+    /// Stream position at the original run's start (batch addressing is
+    /// absolute, so resuming does not depend on the source's cursor).
+    start: u64,
+    /// Batches fully simulated so far.
+    batches_done: u64,
+    /// The original run's pattern budget.
+    max_patterns: u64,
+    /// Detection state so far (1-based absolute pattern indices).
+    detected_at: Vec<Option<u64>>,
+}
+
+impl FsimCheckpoint {
+    /// Patterns fully simulated so far.
+    pub fn patterns_done(&self) -> u64 {
+        (self.batches_done * 64).min(self.max_patterns)
+    }
+
+    /// The original run's pattern budget.
+    pub fn max_patterns(&self) -> u64 {
+        self.max_patterns
+    }
+
+    /// Faults detected so far.
+    pub fn detected_count(&self) -> usize {
+        self.detected_at.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// Result of a budgeted fault-simulation call: the outcome over the
+/// patterns actually applied, whether the run completed, and — when
+/// interrupted — the checkpoint to resume from.
+#[derive(Debug, Clone)]
+pub struct BudgetedFsim {
+    /// Detection state over the patterns applied so far (a completed
+    /// run's outcome equals the unbudgeted run's exactly).
+    pub outcome: FsimOutcome,
+    /// Completed, or interrupted at a chunk boundary.
+    pub status: RunStatus,
+    /// `Some` exactly when interrupted: resume with
+    /// [`FaultSimulator::resume_random`].
+    pub checkpoint: Option<FsimCheckpoint>,
+}
+
 /// Serial-fault, pattern-parallel fault simulator with fault dropping and
 /// optional two-axis (fault- or pattern-sharded) multithreading.
 #[derive(Debug, Clone)]
@@ -145,6 +203,10 @@ impl<'n> FaultSimulator<'n> {
     /// minimum detection index per fault. The result (and the source's
     /// final cursor) is bit-identical at any thread count on either axis.
     ///
+    /// When `DYNMOS_BUDGET_MS` is set, the run is executed as an
+    /// interrupt/resume loop with that per-leg deadline — exercising
+    /// every checkpoint path while returning the identical result.
+    ///
     /// # Panics
     ///
     /// Panics if the source arity does not match the network.
@@ -154,46 +216,213 @@ impl<'n> FaultSimulator<'n> {
         source: &mut PatternSource,
         max_patterns: u64,
     ) -> FsimOutcome {
+        if let Some(ms) = budget::env_budget_ms() {
+            let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
+            let mut run = self.run_random_budgeted(faults, source, max_patterns, &leg());
+            while let Some(cp) = run.checkpoint.take() {
+                run = self.resume_random(faults, source, cp, &leg());
+            }
+            return run.outcome;
+        }
+        self.run_random_budgeted(faults, source, max_patterns, &RunBudget::unlimited())
+            .outcome
+    }
+
+    /// [`Self::run_random`] under a [`RunBudget`]: stops at the first
+    /// chunk boundary past the deadline, cancellation, or per-call
+    /// pattern cap, returning the partial outcome plus a checkpoint to
+    /// [`Self::resume_random`] from. At least one chunk of work is done
+    /// per call (forward progress), and a run completed across any
+    /// number of interruptions is bit-identical to an uninterrupted
+    /// serial run — detection indices, `patterns_applied`, coverage
+    /// curve, and the source's final cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source arity does not match the network.
+    pub fn run_random_budgeted(
+        &self,
+        faults: &[FaultEntry],
+        source: &mut PatternSource,
+        max_patterns: u64,
+        run_budget: &RunBudget,
+    ) -> BudgetedFsim {
         assert_eq!(
             source.input_count(),
             self.net.primary_inputs().len(),
             "pattern source arity mismatch"
         );
         if faults.is_empty() {
-            return FsimOutcome {
-                detected_at: Vec::new(),
-                patterns_applied: 0,
-                coverage_curve: Vec::new(),
+            return BudgetedFsim {
+                outcome: FsimOutcome {
+                    detected_at: Vec::new(),
+                    patterns_applied: 0,
+                    coverage_curve: Vec::new(),
+                },
+                status: RunStatus::Completed,
+                checkpoint: None,
             };
         }
-        let start = source.position();
+        let checkpoint = FsimCheckpoint {
+            start: source.position(),
+            batches_done: 0,
+            max_patterns,
+            detected_at: vec![None; faults.len()],
+        };
+        self.advance(faults, source, checkpoint, run_budget)
+    }
+
+    /// Continues an interrupted [`Self::run_random_budgeted`] run from
+    /// its checkpoint under a fresh budget. The fault list must be the
+    /// one the checkpoint was taken with; batch addressing is absolute,
+    /// so the source need only be the same stream (same seed and
+    /// weights) — its cursor is ignored and rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics on source arity mismatch or if the checkpoint's fault
+    /// count differs from `faults`.
+    pub fn resume_random(
+        &self,
+        faults: &[FaultEntry],
+        source: &mut PatternSource,
+        checkpoint: FsimCheckpoint,
+        run_budget: &RunBudget,
+    ) -> BudgetedFsim {
+        assert_eq!(
+            source.input_count(),
+            self.net.primary_inputs().len(),
+            "pattern source arity mismatch"
+        );
+        assert_eq!(
+            checkpoint.detected_at.len(),
+            faults.len(),
+            "checkpoint fault count mismatch"
+        );
+        self.advance(faults, source, checkpoint, run_budget)
+    }
+
+    /// The chunked walk both entry points share. Each chunk simulates
+    /// only the still-live faults over a fixed batch range and merges
+    /// by the usual order-independent rules, so chunk boundaries are
+    /// invisible to the final state; budget checks happen only between
+    /// chunks, after at least one has run.
+    fn advance(
+        &self,
+        faults: &[FaultEntry],
+        source: &mut PatternSource,
+        checkpoint: FsimCheckpoint,
+        run_budget: &RunBudget,
+    ) -> BudgetedFsim {
+        let FsimCheckpoint {
+            start,
+            mut batches_done,
+            max_patterns,
+            mut detected_at,
+        } = checkpoint;
         let total_batches = max_patterns.div_ceil(64);
         let threads = self.parallelism.resolve();
-        let src: &PatternSource = source;
-        let detected_at = match plan_shards(faults.len(), total_batches, threads) {
-            ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |range| {
-                self.random_span(&faults[range], src, start, 0..total_batches, max_patterns)
-            })
-            .into_iter()
-            .flatten()
-            .collect(),
-            ShardPlan::Patterns(workers) => {
-                let spans = run_sharded(total_batches as usize, workers, |range| {
-                    self.random_span(
-                        faults,
-                        src,
-                        start,
-                        range.start as u64..range.end as u64,
-                        max_patterns,
-                    )
-                });
-                merge_min_detection(faults.len(), spans)
-            }
+        // Unlimited budgets take the historical single-pass path: one
+        // chunk spanning the whole remaining stream.
+        let chunk = if run_budget.is_unlimited() {
+            total_batches.max(1)
+        } else {
+            CHUNK_BATCHES
         };
+        let call_start = batches_done;
+        let cap_batches = run_budget.max_patterns.map(|p| p.div_ceil(64).max(1));
+        let src: &PatternSource = source;
+        let mut stop: Option<StopReason> = None;
+        while batches_done < total_batches {
+            let live: Vec<usize> = detected_at
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.is_none().then_some(i))
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let mut span_end = (batches_done + chunk).min(total_batches);
+            if let Some(cap) = cap_batches {
+                span_end = span_end.min(call_start + cap);
+            }
+            let span = batches_done..span_end;
+            match plan_shards(live.len(), span.end - span.start, threads) {
+                ShardPlan::Faults(workers) => {
+                    let results = run_sharded(live.len(), workers, |range| {
+                        self.random_span(
+                            faults,
+                            &live[range],
+                            src,
+                            start,
+                            span.clone(),
+                            max_patterns,
+                        )
+                    });
+                    for (&fi, d) in live.iter().zip(results.into_iter().flatten()) {
+                        if d.is_some() {
+                            detected_at[fi] = d;
+                        }
+                    }
+                }
+                ShardPlan::Patterns(workers) => {
+                    let spans = run_sharded((span.end - span.start) as usize, workers, |range| {
+                        self.random_span(
+                            faults,
+                            &live,
+                            src,
+                            start,
+                            span.start + range.start as u64..span.start + range.end as u64,
+                            max_patterns,
+                        )
+                    });
+                    for (&fi, d) in live.iter().zip(merge_min_detection(live.len(), spans)) {
+                        if d.is_some() {
+                            detected_at[fi] = d;
+                        }
+                    }
+                }
+            }
+            batches_done = span.end;
+            // Budget checks only between chunks, and only while work
+            // remains — a run that just finished is Completed even if
+            // the deadline passed during its last chunk.
+            let remains = batches_done < total_batches && detected_at.iter().any(Option::is_none);
+            if !remains {
+                break;
+            }
+            if cap_batches.is_some_and(|cap| batches_done - call_start >= cap) {
+                stop = Some(StopReason::PatternCap);
+                break;
+            }
+            if let Some(reason) = run_budget.stop_requested() {
+                stop = Some(reason);
+                break;
+            }
+        }
+        if let Some(reason) = stop {
+            let patterns_applied = (batches_done * 64).min(max_patterns);
+            source.set_position(start + batches_done);
+            return BudgetedFsim {
+                outcome: FsimOutcome {
+                    coverage_curve: curve_from(&detected_at, patterns_applied),
+                    detected_at: detected_at.clone(),
+                    patterns_applied,
+                },
+                status: RunStatus::Interrupted(reason),
+                checkpoint: Some(FsimCheckpoint {
+                    start,
+                    batches_done,
+                    max_patterns,
+                    detected_at,
+                }),
+            };
+        }
         // Reconstruct the serial stopping point from the merged indices:
         // the serial loop consumes batches until its live list empties
         // (the batch holding the last first-detection) or the budget runs
-        // out — identical on both axes, because the merged indices are.
+        // out — identical on both axes and at any chunking, because the
+        // merged indices are.
         let batches = if detected_at.iter().all(Option::is_some) {
             detected_at
                 .iter()
@@ -205,35 +434,41 @@ impl<'n> FaultSimulator<'n> {
         };
         let patterns_applied = (batches * 64).min(max_patterns);
         source.set_position(start + batches);
-        FsimOutcome {
-            coverage_curve: curve_from(&detected_at, patterns_applied),
-            detected_at,
-            patterns_applied,
+        BudgetedFsim {
+            outcome: FsimOutcome {
+                coverage_curve: curve_from(&detected_at, patterns_applied),
+                detected_at,
+                patterns_applied,
+            },
+            status: RunStatus::Completed,
+            checkpoint: None,
         }
     }
 
-    /// The kernel both axes share: simulates `faults` over the stream
-    /// batches `span` (relative to the stream offset `start`), recording
-    /// absolute 1-based first-detection indices and dropping each fault
+    /// The kernel both axes share: simulates the fault-list `subset`
+    /// (indices into `faults`) over the stream batches `span` (relative
+    /// to the stream offset `start`), recording absolute 1-based
+    /// first-detection indices in subset order and dropping each fault
     /// at its first detection within the span. The fault axis calls it
-    /// with the full span and a fault slice; the pattern axis with a span
-    /// slice and the full fault list.
+    /// with the full span and a subset slice; the pattern axis with a
+    /// span slice and the full subset.
     fn random_span(
         &self,
         faults: &[FaultEntry],
+        subset: &[usize],
         source: &PatternSource,
         start: u64,
         span: std::ops::Range<u64>,
         max_patterns: u64,
     ) -> Vec<Option<u64>> {
         let mut ev = PackedEvaluator::new(self.net);
-        let prepared: Vec<_> = faults
+        let prepared: Vec<_> = subset
             .iter()
-            .map(|e| self.net.prepare_fault(&e.fault))
+            .map(|&fi| self.net.prepare_fault(&faults[fi].fault))
             .collect();
         let stream = source.span(start + span.start..start + span.end);
-        let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
-        let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut detected_at: Vec<Option<u64>> = vec![None; subset.len()];
+        let mut live: Vec<usize> = (0..subset.len()).collect();
         let mut batch = vec![0u64; source.input_count()];
         for k in 0..stream.len() {
             if live.is_empty() {
@@ -504,6 +739,74 @@ mod tests {
             assert_eq!(out.coverage_curve, serial.coverage_curve);
             assert_eq!(src.position(), serial_src.position());
         }
+    }
+
+    #[test]
+    fn pattern_cap_interrupts_and_resume_matches_uninterrupted() {
+        let net = single_cell_network(domino_wide_and(10));
+        let faults = network_fault_list(&net);
+        let sim = FaultSimulator::with_parallelism(&net, Parallelism::Serial);
+        let mut full_src = PatternSource::uniform(19, 10);
+        let full = sim.run_random(&faults, &mut full_src, 100_000);
+        // 256 patterns per call: far below the hard fault's detection
+        // time, so the cap interrupts repeatedly before completion.
+        let cap = RunBudget::unlimited().with_max_patterns(256);
+        let mut src = PatternSource::uniform(19, 10);
+        let mut run = sim.run_random_budgeted(&faults, &mut src, 100_000, &cap);
+        let mut legs = 0usize;
+        while let Some(cp) = run.checkpoint.take() {
+            assert_eq!(run.status, RunStatus::Interrupted(StopReason::PatternCap));
+            assert_eq!(run.outcome.patterns_applied, cp.patterns_done());
+            legs += 1;
+            assert!(legs < 10_000, "resume loop failed to make progress");
+            run = sim.resume_random(&faults, &mut src, cp, &cap);
+        }
+        assert!(legs > 0, "cap never interrupted");
+        assert_eq!(run.status, RunStatus::Completed);
+        assert_eq!(run.outcome.detected_at, full.detected_at);
+        assert_eq!(run.outcome.patterns_applied, full.patterns_applied);
+        assert_eq!(run.outcome.coverage_curve, full.coverage_curve);
+        assert_eq!(src.position(), full_src.position());
+    }
+
+    #[test]
+    fn cancel_interrupts_after_one_chunk_of_forward_progress() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let net = single_cell_network(domino_wide_and(10));
+        let faults = network_fault_list(&net);
+        // Heavily biased-low inputs: the all-ones fault never fires, so
+        // the run cannot complete early and the cancel must be honored.
+        let mut src = PatternSource::new(19, vec![0.0625; 10]);
+        let pre_cancelled = Arc::new(AtomicBool::new(true));
+        let b = RunBudget::unlimited().with_cancel(pre_cancelled);
+        let sim = FaultSimulator::with_parallelism(&net, Parallelism::Serial);
+        let run = sim.run_random_budgeted(&faults, &mut src, 1_000_000, &b);
+        assert_eq!(run.status, RunStatus::Interrupted(StopReason::Cancelled));
+        // Forward progress: exactly one chunk ran before the (already
+        // raised) flag was checked.
+        assert_eq!(run.outcome.patterns_applied, CHUNK_BATCHES * 64);
+        let cp = run
+            .checkpoint
+            .expect("interrupted run carries a checkpoint");
+        assert_eq!(cp.patterns_done(), CHUNK_BATCHES * 64);
+        assert_eq!(src.position(), CHUNK_BATCHES);
+    }
+
+    #[test]
+    fn interrupted_outcome_is_a_valid_partial_result() {
+        let net = single_cell_network(domino_wide_and(10));
+        let faults = network_fault_list(&net);
+        let sim = FaultSimulator::with_parallelism(&net, Parallelism::Serial);
+        let mut src = PatternSource::uniform(19, 10);
+        let cap = RunBudget::unlimited().with_max_patterns(256);
+        let run = sim.run_random_budgeted(&faults, &mut src, 100_000, &cap);
+        // The partial outcome must agree with an unbudgeted run whose
+        // whole budget is the patterns applied so far.
+        let mut trunc_src = PatternSource::uniform(19, 10);
+        let trunc = sim.run_random(&faults, &mut trunc_src, run.outcome.patterns_applied);
+        assert_eq!(run.outcome.detected_at, trunc.detected_at);
+        assert_eq!(run.outcome.coverage_curve, trunc.coverage_curve);
     }
 
     #[test]

@@ -17,11 +17,49 @@
 //! hundred-plus times during the search) while staying bit-identical to
 //! the serial estimator at any thread count.
 
+use crate::budget::{RunBudget, StopReason};
 use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 
 /// Faults per partial-product block: the fixed summation-tree unit that
 /// makes serial and sharded products associate identically.
 const PROB_BLOCK: usize = 1024;
+
+/// Why a test-length query could not produce a length. Degenerate
+/// inputs (NaN included — every comparison with NaN fails, so NaN can
+/// never satisfy a range check) are reported instead of propagating
+/// NaN/inf into pattern budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthError {
+    /// `probs` was empty: a joint confidence over zero faults is
+    /// meaningless.
+    EmptyFaultList,
+    /// A detection probability (the payload) was outside `[0, 1]` or
+    /// NaN.
+    BadProbability(f64),
+    /// The demanded confidence (the payload) was outside the open
+    /// interval `(0, 1)` or NaN.
+    BadConfidence(f64),
+    /// A [`RunBudget`] stopped the search between evaluations of the
+    /// joint product.
+    Interrupted(StopReason),
+}
+
+impl std::fmt::Display for LengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LengthError::EmptyFaultList => write!(f, "need at least one fault"),
+            LengthError::BadProbability(p) => write!(f, "probability {p} outside [0,1]"),
+            LengthError::BadConfidence(c) => {
+                write!(f, "confidence must be in (0,1), got {c}")
+            }
+            LengthError::Interrupted(reason) => {
+                write!(f, "test-length search interrupted: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LengthError {}
 
 /// Probability that at least one of `n` patterns detects a fault with
 /// per-pattern detection probability `p`: the complement of the escape
@@ -92,17 +130,56 @@ fn block_confidence(probs: &[f64], n: u64) -> f64 {
 /// is the only axis here, so the planner shards it whenever the list can
 /// feed every worker a block; block products merge by an ascending-order
 /// fold, making the result bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics on the degenerate inputs [`try_test_length_par`] reports as
+/// errors.
 pub fn test_length_par(probs: &[f64], confidence: f64, parallelism: Parallelism) -> u64 {
-    assert!(!probs.is_empty(), "need at least one fault");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence must be in (0,1)"
-    );
+    try_test_length_par(probs, confidence, parallelism).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`test_length`] returning degenerate inputs as [`LengthError`]
+/// instead of panicking: NaN or out-of-range probabilities/confidence
+/// are reported, never propagated into pattern budgets.
+pub fn try_test_length(probs: &[f64], confidence: f64) -> Result<u64, LengthError> {
+    try_test_length_par(probs, confidence, Parallelism::default())
+}
+
+/// [`test_length_par`] with errors instead of panics.
+pub fn try_test_length_par(
+    probs: &[f64],
+    confidence: f64,
+    parallelism: Parallelism,
+) -> Result<u64, LengthError> {
+    test_length_budgeted(probs, confidence, parallelism, &RunBudget::unlimited())
+}
+
+/// [`try_test_length_par`] under a [`RunBudget`]: the budget is checked
+/// between evaluations of the joint product (each evaluation scans the
+/// whole fault list), after at least one has run. The search keeps no
+/// checkpoint — an interrupted search returns
+/// [`LengthError::Interrupted`] and discards its bounds; a completed
+/// budgeted search equals the unbudgeted result bit-identically.
+pub fn test_length_budgeted(
+    probs: &[f64],
+    confidence: f64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+) -> Result<u64, LengthError> {
+    if probs.is_empty() {
+        return Err(LengthError::EmptyFaultList);
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(LengthError::BadConfidence(confidence));
+    }
     for &p in probs {
-        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        if !(0.0..=1.0).contains(&p) {
+            return Err(LengthError::BadProbability(p));
+        }
     }
     if probs.contains(&0.0) {
-        return u64::MAX;
+        return Ok(u64::MAX);
     }
     let blocks = probs.len().div_ceil(PROB_BLOCK);
     let workers = match plan_shards(blocks, 1, parallelism.resolve()) {
@@ -136,27 +213,40 @@ pub fn test_length_par(probs: &[f64], confidence: f64, parallelism: Parallelism)
         .flatten()
         .fold(1.0f64, |acc, block| acc * block)
     };
+    // Budget checks live between `achieved` evaluations (each one
+    // scans the whole fault list), after at least one has run —
+    // forward progress, like every other budgeted kernel.
+    let mut evals = 0u64;
+    let mut achieved_checked = |n: u64| -> Result<f64, LengthError> {
+        if evals > 0 {
+            if let Some(reason) = run_budget.stop_requested() {
+                return Err(LengthError::Interrupted(reason));
+            }
+        }
+        evals += 1;
+        Ok(achieved(n))
+    };
     // Exponential search then binary search on the monotone predicate.
     let mut hi = 1u64;
-    while achieved(hi) < confidence {
+    while achieved_checked(hi)? < confidence {
         hi = hi.saturating_mul(2);
         if hi == u64::MAX {
-            return u64::MAX;
+            return Ok(u64::MAX);
         }
     }
     let mut lo = hi / 2;
     while lo + 1 < hi {
         let mid = lo + (hi - lo) / 2;
-        if achieved(mid) >= confidence {
+        if achieved_checked(mid)? >= confidence {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    if achieved(lo.max(1)) >= confidence {
-        lo.max(1)
+    if achieved_checked(lo.max(1))? >= confidence {
+        Ok(lo.max(1))
     } else {
-        hi
+        Ok(hi)
     }
 }
 
@@ -265,5 +355,76 @@ mod tests {
     #[should_panic(expected = "at least one fault")]
     fn empty_fault_list_panics() {
         test_length(&[], 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn nan_probability_panics_in_legacy_api() {
+        test_length(&[f64::NAN], 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_reported_not_propagated() {
+        assert_eq!(try_test_length(&[], 0.9), Err(LengthError::EmptyFaultList));
+        for c in [0.0, 1.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let got = try_test_length(&[0.5], c);
+            assert!(
+                matches!(got, Err(LengthError::BadConfidence(_))),
+                "confidence={c} got={got:?}"
+            );
+        }
+        for p in [-0.1, 1.0001, f64::NAN, f64::NEG_INFINITY] {
+            let got = try_test_length(&[0.5, p], 0.9);
+            assert!(
+                matches!(got, Err(LengthError::BadProbability(_))),
+                "p={p} got={got:?}"
+            );
+        }
+        // The error text carries the same phrasing the panicking API
+        // uses, so should_panic substring tests and log greps agree.
+        assert_eq!(
+            LengthError::EmptyFaultList.to_string(),
+            "need at least one fault"
+        );
+        assert!(LengthError::BadProbability(2.0)
+            .to_string()
+            .contains("outside [0,1]"));
+        assert!(LengthError::BadConfidence(1.0)
+            .to_string()
+            .contains("confidence must be in (0,1)"));
+    }
+
+    #[test]
+    fn valid_inputs_round_trip_through_try_api() {
+        let probs = [0.07, 0.3, 0.004];
+        assert_eq!(
+            try_test_length(&probs, 0.995),
+            Ok(test_length(&probs, 0.995))
+        );
+        assert_eq!(try_test_length(&[0.5, 0.0], 0.9), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn budgeted_search_completes_and_matches() {
+        let probs: Vec<f64> = (0..500).map(|i| 0.01 + 0.001 * (i % 37) as f64).collect();
+        let far = RunBudget::deadline_in(std::time::Duration::from_secs(3600));
+        assert_eq!(
+            test_length_budgeted(&probs, 0.999, Parallelism::Serial, &far),
+            Ok(test_length(&probs, 0.999))
+        );
+    }
+
+    #[test]
+    fn cancelled_search_interrupts_after_forward_progress() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = RunBudget::unlimited().with_cancel(flag);
+        // p=0.01 needs hundreds of patterns: the search cannot finish
+        // in its one guaranteed evaluation.
+        assert_eq!(
+            test_length_budgeted(&[0.01], 0.999, Parallelism::Serial, &cancelled),
+            Err(LengthError::Interrupted(StopReason::Cancelled))
+        );
     }
 }

@@ -39,6 +39,7 @@
 //! assert!(n_uniform > 1000);
 //! ```
 
+pub mod budget;
 pub mod detect;
 pub mod estimate;
 pub mod fsim;
@@ -50,19 +51,31 @@ pub mod parallel;
 pub mod random;
 pub mod symbolic;
 
-pub use detect::{detection_probabilities, exact_detection_probability, ExactDetector};
+pub use budget::{env_budget_ms, RunBudget, RunStatus, StopReason, DEFAULT_EXACT_ROWS};
+pub use detect::{
+    detection_probabilities, detection_probability_estimates, exact_detection_probability,
+    DetectionEstimate, EstimateMethod, ExactDetector,
+};
 pub use estimate::{exact_signal_probability, signal_probabilities};
-pub use fsim::{FaultSimulator, FsimOutcome};
-pub use length::{escape_probability, test_length, test_length_par, test_length_per_fault};
+pub use fsim::{BudgetedFsim, FaultSimulator, FsimCheckpoint, FsimOutcome};
+pub use length::{
+    escape_probability, test_length, test_length_budgeted, test_length_par, test_length_per_fault,
+    try_test_length, try_test_length_par, LengthError,
+};
 pub use list::{network_fault_list, stuck_fault_list, FaultEntry};
 pub use montecarlo::{
-    mc_detection_probabilities, mc_detection_probabilities_par, mc_detection_probability,
-    mc_signal_probability, mc_signal_probability_par, Estimate,
+    mc_detection_probabilities, mc_detection_probabilities_budgeted,
+    mc_detection_probabilities_par, mc_detection_probability, mc_detection_resume,
+    mc_signal_probability, mc_signal_probability_budgeted, mc_signal_probability_par,
+    mc_signal_resume, BudgetedEstimate, BudgetedEstimates, Estimate, McCheckpoint,
 };
 pub use optimize::{
-    optimize_input_probabilities, optimize_input_probabilities_par, OptimizeReport,
+    optimize_input_probabilities, optimize_input_probabilities_budgeted,
+    optimize_input_probabilities_par, OptimizeReport, OptimizeRun,
 };
-pub use parallel::{plan_shards, run_sharded, shard_ranges, Parallelism, ShardPlan};
+pub use parallel::{
+    plan_shards, run_sharded, shard_ranges, try_run_sharded, Parallelism, ShardError, ShardPlan,
+};
 pub use random::{PatternSource, StreamSpan};
 pub use symbolic::{
     bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,

@@ -19,14 +19,21 @@
 //! either way the estimates are bit-identical to the serial path at any
 //! thread count.
 
+use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
 use std::ops::Range;
+use std::time::Duration;
 
 /// Lane words per evaluator pass: 4 × 64 = 256 patterns per tape walk.
 const WIDTH: usize = 4;
+
+/// Evaluator passes per budgeted chunk (16 passes = 4096 samples): the
+/// granularity of budget checks and checkpoints. Hit counts are exact
+/// integer sums, so chunking is invisible to the final estimates.
+const CHUNK_PASSES: usize = 16;
 
 /// A Monte Carlo estimate: frequency plus a 95% confidence half-width.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +52,66 @@ impl Estimate {
     pub fn covers(&self, truth: f64) -> bool {
         (self.value - truth).abs() <= self.half_width.max(1e-3)
     }
+
+    /// The standard error of the estimate (`sqrt(p(1-p)/n)`; the
+    /// half-width is 1.96 standard errors).
+    pub fn std_error(&self) -> f64 {
+        self.half_width / 1.96
+    }
+}
+
+/// Resumable state of an interrupted Monte Carlo estimation: the exact
+/// integer hit counts over the sample passes drawn so far. Resuming
+/// and completing produces estimates bit-identical to an uninterrupted
+/// run — integer hit counts over disjoint pass ranges add exactly.
+#[derive(Debug, Clone)]
+pub struct McCheckpoint {
+    /// Wide evaluator passes fully drawn so far.
+    passes_done: usize,
+    /// The run's total sample budget.
+    samples: u64,
+    /// Per-target hit counts so far (one entry per fault; length 1 for
+    /// signal estimation).
+    hits: Vec<u64>,
+}
+
+impl McCheckpoint {
+    /// Samples fully drawn so far.
+    pub fn samples_done(&self) -> u64 {
+        ((self.passes_done as u64) * (WIDTH as u64) * 64).min(self.samples)
+    }
+
+    /// The run's total sample budget.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Result of a budgeted whole-list detection estimation: estimates
+/// over the samples drawn so far, completion status, and — when
+/// interrupted — the checkpoint to resume from.
+#[derive(Debug, Clone)]
+pub struct BudgetedEstimates {
+    /// One estimate per fault over the samples drawn so far (a
+    /// completed run's estimates equal the unbudgeted run's exactly).
+    pub estimates: Vec<Estimate>,
+    /// Completed, or interrupted at a chunk boundary.
+    pub status: RunStatus,
+    /// `Some` exactly when interrupted: resume with
+    /// [`mc_detection_resume`].
+    pub checkpoint: Option<McCheckpoint>,
+}
+
+/// Result of a budgeted single-net signal estimation.
+#[derive(Debug, Clone)]
+pub struct BudgetedEstimate {
+    /// The estimate over the samples drawn so far.
+    pub estimate: Estimate,
+    /// Completed, or interrupted at a chunk boundary.
+    pub status: RunStatus,
+    /// `Some` exactly when interrupted: resume with
+    /// [`mc_signal_resume`].
+    pub checkpoint: Option<McCheckpoint>,
 }
 
 fn estimate_from_counts(hits: u64, samples: u64) -> Estimate {
@@ -95,7 +162,9 @@ pub fn mc_signal_probability(
 
 /// [`mc_signal_probability`] with an explicit thread policy. A single
 /// target net means the planner always shards the pass axis; the
-/// estimate is identical at any thread count.
+/// estimate is identical at any thread count. When `DYNMOS_BUDGET_MS`
+/// is set, the estimation runs as an interrupt/resume loop with that
+/// per-leg deadline — producing the identical estimate.
 pub fn mc_signal_probability_par(
     net: &Network,
     target: NetId,
@@ -104,33 +173,204 @@ pub fn mc_signal_probability_par(
     samples: u64,
     parallelism: Parallelism,
 ) -> Estimate {
+    if let Some(ms) = budget::env_budget_ms() {
+        let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
+        let mut run = mc_signal_probability_budgeted(
+            net,
+            target,
+            pi_probs,
+            seed,
+            samples,
+            parallelism,
+            &leg(),
+        );
+        while let Some(cp) = run.checkpoint.take() {
+            run = mc_signal_resume(net, target, pi_probs, seed, parallelism, &leg(), cp);
+        }
+        return run.estimate;
+    }
+    mc_signal_probability_budgeted(
+        net,
+        target,
+        pi_probs,
+        seed,
+        samples,
+        parallelism,
+        &RunBudget::unlimited(),
+    )
+    .estimate
+}
+
+/// [`mc_signal_probability_par`] under a [`RunBudget`]: stops at the
+/// first chunk boundary past the deadline, cancellation, or per-call
+/// sample cap, returning the partial estimate plus a checkpoint for
+/// [`mc_signal_resume`]. A run completed across any number of
+/// interruptions yields the identical estimate.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the probability arity mismatches.
+pub fn mc_signal_probability_budgeted(
+    net: &Network,
+    target: NetId,
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+) -> BudgetedEstimate {
     assert!(samples > 0, "need at least one sample");
+    let checkpoint = McCheckpoint {
+        passes_done: 0,
+        samples,
+        hits: vec![0],
+    };
+    mc_signal_walk(
+        net,
+        target,
+        pi_probs,
+        seed,
+        parallelism,
+        run_budget,
+        checkpoint,
+    )
+}
+
+/// Continues an interrupted [`mc_signal_probability_budgeted`] run.
+/// The network, target, probabilities and seed must match the original
+/// call.
+pub fn mc_signal_resume(
+    net: &Network,
+    target: NetId,
+    pi_probs: &[f64],
+    seed: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    checkpoint: McCheckpoint,
+) -> BudgetedEstimate {
+    assert_eq!(checkpoint.hits.len(), 1, "not a signal checkpoint");
+    mc_signal_walk(
+        net,
+        target,
+        pi_probs,
+        seed,
+        parallelism,
+        run_budget,
+        checkpoint,
+    )
+}
+
+/// Per-pass hit counts for one net over the passes `pass_range`,
+/// tail-masked against `samples` — the pure kernel every signal worker
+/// runs over its disjoint range.
+fn mc_signal_span(
+    net: &Network,
+    target: NetId,
+    src: &PatternSource,
+    pass_range: Range<usize>,
+    samples: u64,
+) -> u64 {
+    let mut ev = PackedEvaluator::with_width(net, WIDTH);
+    let mut batch = vec![0u64; src.input_count() * WIDTH];
+    let mut hits = 0u64;
+    for pass in pass_range {
+        let first_batch = pass as u64 * WIDTH as u64;
+        src.fill_batch_wide_at(first_batch, WIDTH, &mut batch);
+        let values = ev.eval(&batch);
+        for w in 0..WIDTH {
+            let drawn = (first_batch + w as u64) * 64;
+            if drawn >= samples {
+                break;
+            }
+            let mask = tail_mask(drawn, samples);
+            hits += (values[target.index() * WIDTH + w] & mask).count_ones() as u64;
+        }
+    }
+    hits
+}
+
+/// The chunked signal-estimation walk: disjoint pass chunks, budget
+/// checks between chunks only, exact integer hit sums (chunking and
+/// sharding both invisible to the estimate).
+fn mc_signal_walk(
+    net: &Network,
+    target: NetId,
+    pi_probs: &[f64],
+    seed: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    checkpoint: McCheckpoint,
+) -> BudgetedEstimate {
+    let McCheckpoint {
+        mut passes_done,
+        samples,
+        mut hits,
+    } = checkpoint;
     let src = PatternSource::new(seed, pi_probs.to_vec());
     // One evaluator pass covers WIDTH * 64 samples.
-    let passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
-    let workers = plan_shards(1, passes as u64, parallelism.resolve()).workers();
-    let hits: u64 = run_sharded(passes, workers, |pass_range| {
-        let mut ev = PackedEvaluator::with_width(net, WIDTH);
-        let mut batch = vec![0u64; src.input_count() * WIDTH];
-        let mut hits = 0u64;
-        for pass in pass_range {
-            let first_batch = pass as u64 * WIDTH as u64;
-            src.fill_batch_wide_at(first_batch, WIDTH, &mut batch);
-            let values = ev.eval(&batch);
-            for w in 0..WIDTH {
-                let drawn = (first_batch + w as u64) * 64;
-                if drawn >= samples {
-                    break;
-                }
-                let mask = tail_mask(drawn, samples);
-                hits += (values[target.index() * WIDTH + w] & mask).count_ones() as u64;
-            }
+    let total_passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
+    let threads = parallelism.resolve();
+    let chunk = if run_budget.is_unlimited() {
+        total_passes.max(1)
+    } else {
+        CHUNK_PASSES
+    };
+    let call_start = passes_done;
+    let cap_passes = run_budget
+        .max_patterns
+        .map(|p| (p.div_ceil((WIDTH as u64) * 64) as usize).max(1));
+    let mut stop: Option<StopReason> = None;
+    while passes_done < total_passes {
+        let mut end = (passes_done + chunk).min(total_passes);
+        if let Some(cap) = cap_passes {
+            end = end.min(call_start + cap);
         }
-        hits
-    })
-    .into_iter()
-    .sum();
-    estimate_from_counts(hits, samples)
+        let range = passes_done..end;
+        let workers = plan_shards(1, range.len() as u64, threads).workers();
+        hits[0] += run_sharded(range.len(), workers, |r| {
+            mc_signal_span(
+                net,
+                target,
+                &src,
+                range.start + r.start..range.start + r.end,
+                samples,
+            )
+        })
+        .into_iter()
+        .sum::<u64>();
+        passes_done = range.end;
+        if passes_done >= total_passes {
+            break;
+        }
+        if cap_passes.is_some_and(|cap| passes_done - call_start >= cap) {
+            stop = Some(StopReason::PatternCap);
+            break;
+        }
+        if let Some(reason) = run_budget.stop_requested() {
+            stop = Some(reason);
+            break;
+        }
+    }
+    let drawn = ((passes_done as u64) * (WIDTH as u64) * 64)
+        .min(samples)
+        .max(1);
+    let estimate = estimate_from_counts(hits[0], drawn);
+    match stop {
+        Some(reason) => BudgetedEstimate {
+            estimate,
+            status: RunStatus::Interrupted(reason),
+            checkpoint: Some(McCheckpoint {
+                passes_done,
+                samples,
+                hits,
+            }),
+        },
+        None => BudgetedEstimate {
+            estimate,
+            status: RunStatus::Completed,
+            checkpoint: None,
+        },
+    }
 }
 
 /// Monte Carlo detection probability of one fault.
@@ -176,7 +416,9 @@ pub fn mc_detection_probabilities(
 /// is sharded along the planner's axis — fault slices replaying the same
 /// counter-based stream, or disjoint pass ranges covering every fault in
 /// the few-fault regime (hit counts add exactly); estimates are
-/// identical at any thread count either way.
+/// identical at any thread count either way. When `DYNMOS_BUDGET_MS`
+/// is set, the estimation runs as an interrupt/resume loop with that
+/// per-leg deadline — producing the identical estimates.
 pub fn mc_detection_probabilities_par(
     net: &Network,
     faults: &[FaultEntry],
@@ -187,6 +429,83 @@ pub fn mc_detection_probabilities_par(
 ) -> Vec<Estimate> {
     let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
     mc_detection_core(net, &faults, pi_probs, seed, samples, parallelism)
+}
+
+/// [`mc_detection_probabilities_par`] under a [`RunBudget`]: stops at
+/// the first chunk boundary past the deadline, cancellation, or
+/// per-call sample cap, returning partial estimates plus a checkpoint
+/// for [`mc_detection_resume`]. A run completed across any number of
+/// interruptions yields estimates bit-identical to an uninterrupted
+/// run at any thread count.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the probability arity mismatches.
+pub fn mc_detection_probabilities_budgeted(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    seed: u64,
+    samples: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+) -> BudgetedEstimates {
+    assert!(samples > 0, "need at least one sample");
+    if faults.is_empty() {
+        return BudgetedEstimates {
+            estimates: Vec::new(),
+            status: RunStatus::Completed,
+            checkpoint: None,
+        };
+    }
+    let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
+    let checkpoint = McCheckpoint {
+        passes_done: 0,
+        samples,
+        hits: vec![0; faults.len()],
+    };
+    mc_detection_walk(
+        net,
+        &faults,
+        pi_probs,
+        seed,
+        parallelism,
+        run_budget,
+        checkpoint,
+    )
+}
+
+/// Continues an interrupted [`mc_detection_probabilities_budgeted`]
+/// run. The network, fault list, probabilities and seed must match the
+/// original call.
+///
+/// # Panics
+///
+/// Panics if the checkpoint's fault count differs from `faults`.
+pub fn mc_detection_resume(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    seed: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    checkpoint: McCheckpoint,
+) -> BudgetedEstimates {
+    assert_eq!(
+        checkpoint.hits.len(),
+        faults.len(),
+        "checkpoint fault count mismatch"
+    );
+    let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
+    mc_detection_walk(
+        net,
+        &faults,
+        pi_probs,
+        seed,
+        parallelism,
+        run_budget,
+        checkpoint,
+    )
 }
 
 fn mc_detection_core(
@@ -201,32 +520,136 @@ fn mc_detection_core(
     if faults.is_empty() {
         return Vec::new();
     }
-    let src = PatternSource::new(seed, pi_probs.to_vec());
-    let passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
-    let hits: Vec<u64> = match plan_shards(faults.len(), passes as u64, parallelism.resolve()) {
-        ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |fault_range| {
-            mc_detection_span(net, &faults[fault_range], &src, 0..passes, samples)
-        })
-        .into_iter()
-        .flatten()
-        .collect(),
-        ShardPlan::Patterns(workers) => {
-            let spans = run_sharded(passes, workers, |pass_range| {
-                mc_detection_span(net, faults, &src, pass_range, samples)
-            });
-            // Disjoint pass ranges: per-fault hit counts add exactly.
-            let mut hits = vec![0u64; faults.len()];
-            for span in spans {
-                for (h, s) in hits.iter_mut().zip(span) {
-                    *h += s;
-                }
-            }
-            hits
-        }
+    let fresh = |_: &()| McCheckpoint {
+        passes_done: 0,
+        samples,
+        hits: vec![0; faults.len()],
     };
-    hits.into_iter()
-        .map(|h| estimate_from_counts(h, samples))
-        .collect()
+    if let Some(ms) = budget::env_budget_ms() {
+        let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
+        let mut run =
+            mc_detection_walk(net, faults, pi_probs, seed, parallelism, &leg(), fresh(&()));
+        while let Some(cp) = run.checkpoint.take() {
+            run = mc_detection_walk(net, faults, pi_probs, seed, parallelism, &leg(), cp);
+        }
+        return run.estimates;
+    }
+    mc_detection_walk(
+        net,
+        faults,
+        pi_probs,
+        seed,
+        parallelism,
+        &RunBudget::unlimited(),
+        fresh(&()),
+    )
+    .estimates
+}
+
+/// The chunked detection-estimation walk both entry points share. Each
+/// chunk shards along the planner's axis; per-fault hit counts over
+/// disjoint pass ranges add exactly, so neither chunking nor sharding
+/// is visible in the estimates; budget checks happen only between
+/// chunks, after at least one has run.
+fn mc_detection_walk(
+    net: &Network,
+    faults: &[NetworkFault],
+    pi_probs: &[f64],
+    seed: u64,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    checkpoint: McCheckpoint,
+) -> BudgetedEstimates {
+    let McCheckpoint {
+        mut passes_done,
+        samples,
+        mut hits,
+    } = checkpoint;
+    let src = PatternSource::new(seed, pi_probs.to_vec());
+    let total_passes = samples.div_ceil((WIDTH as u64) * 64) as usize;
+    let threads = parallelism.resolve();
+    let chunk = if run_budget.is_unlimited() {
+        total_passes.max(1)
+    } else {
+        CHUNK_PASSES
+    };
+    let call_start = passes_done;
+    let cap_passes = run_budget
+        .max_patterns
+        .map(|p| (p.div_ceil((WIDTH as u64) * 64) as usize).max(1));
+    let mut stop: Option<StopReason> = None;
+    while passes_done < total_passes {
+        let mut end = (passes_done + chunk).min(total_passes);
+        if let Some(cap) = cap_passes {
+            end = end.min(call_start + cap);
+        }
+        let range = passes_done..end;
+        let chunk_hits: Vec<u64> = match plan_shards(faults.len(), range.len() as u64, threads) {
+            ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |fault_range| {
+                mc_detection_span(net, &faults[fault_range], &src, range.clone(), samples)
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+            ShardPlan::Patterns(workers) => {
+                let spans = run_sharded(range.len(), workers, |pass_range| {
+                    mc_detection_span(
+                        net,
+                        faults,
+                        &src,
+                        range.start + pass_range.start..range.start + pass_range.end,
+                        samples,
+                    )
+                });
+                // Disjoint pass ranges: per-fault hit counts add exactly.
+                let mut acc = vec![0u64; faults.len()];
+                for span in spans {
+                    for (a, s) in acc.iter_mut().zip(span) {
+                        *a += s;
+                    }
+                }
+                acc
+            }
+        };
+        for (h, c) in hits.iter_mut().zip(chunk_hits) {
+            *h += c;
+        }
+        passes_done = range.end;
+        if passes_done >= total_passes {
+            break;
+        }
+        if cap_passes.is_some_and(|cap| passes_done - call_start >= cap) {
+            stop = Some(StopReason::PatternCap);
+            break;
+        }
+        if let Some(reason) = run_budget.stop_requested() {
+            stop = Some(reason);
+            break;
+        }
+    }
+    let drawn = ((passes_done as u64) * (WIDTH as u64) * 64)
+        .min(samples)
+        .max(1);
+    let estimates = hits
+        .iter()
+        .map(|&h| estimate_from_counts(h, drawn))
+        .collect();
+    match stop {
+        Some(reason) => BudgetedEstimates {
+            estimates,
+            status: RunStatus::Interrupted(reason),
+            checkpoint: Some(McCheckpoint {
+                passes_done,
+                samples,
+                hits,
+            }),
+        },
+        None => BudgetedEstimates {
+            estimates,
+            status: RunStatus::Completed,
+            checkpoint: None,
+        },
+    }
 }
 
 /// The kernel both axes share: per-fault hit counts for `faults` over

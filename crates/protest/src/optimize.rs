@@ -18,11 +18,17 @@
 //! objective evaluations — scales with cores in both regimes while
 //! staying bit-identical at any thread count.
 
-use crate::detect::ExactDetector;
-use crate::length::test_length;
+use crate::budget::{RunBudget, RunStatus, StopReason};
+use crate::detect::{row_space, EstimateMethod, ExactDetector};
+use crate::length::{test_length_budgeted, LengthError};
 use crate::list::FaultEntry;
 use crate::parallel::Parallelism;
 use dynmos_netlist::Network;
+
+/// Fixed seed for the Monte-Carlo objective: every evaluation of the
+/// same probability vector sees the same sample stream, so the descent
+/// compares candidates on a common, deterministic footing.
+const OPT_MC_SEED: u64 = 0x0D7E57;
 
 /// Result of an optimization run.
 #[derive(Debug, Clone)]
@@ -63,10 +69,12 @@ const GRID: [f64; 15] = [
 /// improvement (or
 /// `max_sweeps` is reached).
 ///
+/// Networks beyond the exact-enumeration input limit (24) use the
+/// deterministic Monte-Carlo fallback objective instead of panicking.
+///
 /// # Panics
 ///
-/// Panics if the network exceeds the exact-enumeration input limit (24),
-/// `faults` is empty, or `confidence` is not in `(0,1)`.
+/// Panics if `faults` is empty or `confidence` is not in `(0,1)`.
 ///
 /// # Example
 ///
@@ -91,7 +99,11 @@ pub fn optimize_input_probabilities(
 
 /// [`optimize_input_probabilities`] with an explicit thread policy for
 /// the objective's enumeration engine. The report is identical at any
-/// thread count.
+/// thread count. Networks whose row space exceeds the default
+/// exact-enumeration cap no longer panic: the objective degrades to
+/// Monte-Carlo detection estimation with a fixed seed (see
+/// [`optimize_input_probabilities_budgeted`], which also reports which
+/// method ran).
 pub fn optimize_input_probabilities_par(
     net: &Network,
     faults: &[FaultEntry],
@@ -99,62 +111,180 @@ pub fn optimize_input_probabilities_par(
     max_sweeps: usize,
     parallelism: Parallelism,
 ) -> OptimizeReport {
+    optimize_input_probabilities_budgeted(
+        net,
+        faults,
+        confidence,
+        max_sweeps,
+        parallelism,
+        &RunBudget::unlimited(),
+    )
+    .report
+}
+
+/// An optimization outcome under a [`RunBudget`]: the (possibly
+/// partial) report, whether the descent completed, and which objective
+/// method ran.
+#[derive(Debug, Clone)]
+pub struct OptimizeRun {
+    /// Best probabilities and lengths seen before the stop. When the
+    /// very first objective evaluation is interrupted, the report
+    /// holds the uniform starting point with unbounded lengths.
+    pub report: OptimizeReport,
+    /// [`RunStatus::Completed`], or the [`StopReason`] that ended the
+    /// descent early.
+    pub status: RunStatus,
+    /// [`EstimateMethod::Exact`] when the row space fits
+    /// [`RunBudget::effective_exact_rows`], otherwise the Monte-Carlo
+    /// fallback objective.
+    pub method: EstimateMethod,
+}
+
+/// [`optimize_input_probabilities_par`] under a [`RunBudget`]. The
+/// budget is threaded into every objective evaluation (enumeration
+/// chunks, Monte-Carlo chunks, and test-length searches all check it);
+/// an interrupt ends the descent at the last fully evaluated candidate
+/// and returns the best-so-far report with
+/// [`RunStatus::Interrupted`]. When the row space exceeds
+/// [`RunBudget::effective_exact_rows`], the objective transparently
+/// degrades to Monte-Carlo estimation (fixed seed, sample budget =
+/// the row cap clamped to `[2^12, 2^16]`) instead of refusing — the
+/// chosen path is reported in [`OptimizeRun::method`].
+///
+/// # Panics
+///
+/// Panics if `faults` is empty or `confidence` is not in `(0,1)`.
+pub fn optimize_input_probabilities_budgeted(
+    net: &Network,
+    faults: &[FaultEntry],
+    confidence: f64,
+    max_sweeps: usize,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+) -> OptimizeRun {
     let n = net.primary_inputs().len();
-    let mut probs = vec![0.5f64; n];
+    let exact = row_space(n).is_some_and(|rows| rows <= run_budget.effective_exact_rows());
+    let samples = run_budget.effective_exact_rows().clamp(1 << 12, 1 << 16);
     // One detector (compiled evaluator + prepared faults) serves every
     // objective evaluation of the descent.
-    let mut detector = ExactDetector::new(net, faults);
-    detector.set_parallelism(parallelism);
-    let mut objective =
-        |probs: &[f64]| -> u64 { test_length(&detector.probabilities(probs), confidence) };
-    let uniform_length = objective(&probs);
-    let mut best = uniform_length;
-    // Phase 1: uniform grid scan. On symmetric circuits (wide gates,
-    // balanced trees) the optimum has equal coordinates, and pure
-    // coordinate descent from 0.5 stalls on them — a single raised input
-    // hurts its own stuck-closed fault before the joint gain kicks in.
-    for &g in &GRID {
-        let cand = vec![g; n];
-        let len = objective(&cand);
-        if len < best {
-            best = len;
-            probs = cand;
+    let mut detector = exact.then(|| {
+        let mut det = ExactDetector::new(net, faults);
+        det.set_parallelism(parallelism);
+        det
+    });
+    let mut objective = |probs: &[f64]| -> Result<u64, StopReason> {
+        let dps: Vec<f64> = if let Some(det) = detector.as_mut() {
+            det.try_probabilities(probs, run_budget)?
+        } else {
+            let run = crate::montecarlo::mc_detection_probabilities_budgeted(
+                net,
+                faults,
+                probs,
+                OPT_MC_SEED,
+                samples,
+                parallelism,
+                run_budget,
+            );
+            match run.status {
+                RunStatus::Completed => run.estimates.into_iter().map(|e| e.value).collect(),
+                RunStatus::Interrupted(reason) => return Err(reason),
+            }
+        };
+        match test_length_budgeted(&dps, confidence, parallelism, run_budget) {
+            Ok(len) => Ok(len),
+            Err(LengthError::Interrupted(reason)) => Err(reason),
+            // Degenerate confidence / empty fault list: the documented
+            // panics of the unbudgeted API.
+            Err(other) => panic!("{other}"),
         }
-    }
-    let mut sweeps = 0;
-    for _ in 0..max_sweeps {
-        sweeps += 1;
-        let mut improved = false;
-        for i in 0..n {
-            let original = probs[i];
-            let mut best_here = best;
-            let mut best_p = original;
-            for &cand in &GRID {
-                if (cand - original).abs() < 1e-12 {
-                    continue;
+    };
+    let mut probs = vec![0.5f64; n];
+    let mut uniform_length = u64::MAX;
+    let mut best = u64::MAX;
+    let mut sweeps = 0usize;
+    let mut status = RunStatus::Completed;
+    'descent: {
+        uniform_length = match objective(&probs) {
+            Ok(len) => len,
+            Err(reason) => {
+                status = RunStatus::Interrupted(reason);
+                break 'descent;
+            }
+        };
+        best = uniform_length;
+        // Phase 1: uniform grid scan. On symmetric circuits (wide gates,
+        // balanced trees) the optimum has equal coordinates, and pure
+        // coordinate descent from 0.5 stalls on them — a single raised
+        // input hurts its own stuck-closed fault before the joint gain
+        // kicks in.
+        for &g in &GRID {
+            let cand = vec![g; n];
+            match objective(&cand) {
+                Ok(len) => {
+                    if len < best {
+                        best = len;
+                        probs = cand;
+                    }
                 }
-                probs[i] = cand;
-                let len = objective(&probs);
-                if len < best_here {
-                    best_here = len;
-                    best_p = cand;
+                Err(reason) => {
+                    status = RunStatus::Interrupted(reason);
+                    break 'descent;
                 }
             }
-            probs[i] = best_p;
-            if best_here < best {
-                best = best_here;
-                improved = true;
+        }
+        for _ in 0..max_sweeps {
+            sweeps += 1;
+            let mut improved = false;
+            for i in 0..n {
+                let original = probs[i];
+                let mut best_here = best;
+                let mut best_p = original;
+                for &cand in &GRID {
+                    if (cand - original).abs() < 1e-12 {
+                        continue;
+                    }
+                    probs[i] = cand;
+                    match objective(&probs) {
+                        Ok(len) => {
+                            if len < best_here {
+                                best_here = len;
+                                best_p = cand;
+                            }
+                        }
+                        Err(reason) => {
+                            probs[i] = best_p;
+                            if best_here < best {
+                                best = best_here;
+                            }
+                            status = RunStatus::Interrupted(reason);
+                            break 'descent;
+                        }
+                    }
+                }
+                probs[i] = best_p;
+                if best_here < best {
+                    best = best_here;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
             }
         }
-        if !improved {
-            break;
-        }
     }
-    OptimizeReport {
-        probabilities: probs,
-        uniform_length,
-        optimized_length: best,
-        sweeps,
+    OptimizeRun {
+        report: OptimizeReport {
+            probabilities: probs,
+            uniform_length,
+            optimized_length: best,
+            sweeps,
+        },
+        status,
+        method: if exact {
+            EstimateMethod::Exact
+        } else {
+            EstimateMethod::MonteCarlo
+        },
     }
 }
 
@@ -218,5 +348,75 @@ mod tests {
         let faults = network_fault_list(&net);
         let report = optimize_input_probabilities(&net, &faults, 0.99, 50);
         assert!(report.sweeps < 50, "did not converge: {report:?}");
+    }
+
+    #[test]
+    fn budgeted_descent_matches_unbudgeted() {
+        // A live deadline routes every objective through the chunked
+        // budgeted kernels; a completed run must reproduce the
+        // unbudgeted report exactly.
+        let net = single_cell_network(domino_wide_and(8));
+        let faults = network_fault_list(&net);
+        let reference = optimize_input_probabilities(&net, &faults, 0.999, 8);
+        let far = RunBudget::deadline_in(std::time::Duration::from_secs(3600));
+        let run = optimize_input_probabilities_budgeted(
+            &net,
+            &faults,
+            0.999,
+            8,
+            Parallelism::Serial,
+            &far,
+        );
+        assert!(run.status.is_complete());
+        assert_eq!(run.method, EstimateMethod::Exact);
+        assert_eq!(run.report.probabilities, reference.probabilities);
+        assert_eq!(run.report.uniform_length, reference.uniform_length);
+        assert_eq!(run.report.optimized_length, reference.optimized_length);
+        assert_eq!(run.report.sweeps, reference.sweeps);
+    }
+
+    #[test]
+    fn over_cap_objective_degrades_to_monte_carlo() {
+        // A row cap below 2^6 forces the Monte-Carlo objective; the
+        // descent still completes and never worsens the start point.
+        let net = single_cell_network(domino_wide_and(6));
+        let faults = network_fault_list(&net);
+        let run = optimize_input_probabilities_budgeted(
+            &net,
+            &faults,
+            0.99,
+            1,
+            Parallelism::Serial,
+            &RunBudget::unlimited().with_max_exact_rows(1 << 4),
+        );
+        assert!(run.status.is_complete());
+        assert_eq!(run.method, EstimateMethod::MonteCarlo);
+        assert!(run.report.optimized_length <= run.report.uniform_length);
+        assert_eq!(run.report.probabilities.len(), 6);
+    }
+
+    #[test]
+    fn cancelled_descent_returns_best_so_far() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let net = single_cell_network(domino_wide_and(8));
+        let faults = network_fault_list(&net);
+        let flag = Arc::new(AtomicBool::new(true));
+        let run = optimize_input_probabilities_budgeted(
+            &net,
+            &faults,
+            0.999,
+            8,
+            Parallelism::Serial,
+            &RunBudget::unlimited().with_cancel(flag),
+        );
+        assert_eq!(
+            run.status,
+            RunStatus::Interrupted(crate::budget::StopReason::Cancelled)
+        );
+        // Interrupted before the first objective finished: the report
+        // is the documented uniform starting point.
+        assert_eq!(run.report.sweeps, 0);
+        assert!(run.report.probabilities.iter().all(|&p| p == 0.5));
     }
 }

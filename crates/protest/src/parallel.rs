@@ -48,6 +48,49 @@
 //!    count, so serial and sharded runs add the same partials in the
 //!    same order).
 //!
+//! # Budget, cancellation, and checkpoint contract
+//!
+//! Every long-running kernel has a budgeted form taking a
+//! [`crate::RunBudget`] (deadline, cancellation flag, per-call pattern
+//! cap, exact-row cap). Three rules keep budgets compatible with the
+//! determinism contract above:
+//!
+//! 1. **Chunk-boundary checks only.** Budgets are consulted between
+//!    fixed-size work chunks (stream-batch blocks, Monte Carlo pass
+//!    groups, enumeration row-block groups, per-fault ATPG steps) —
+//!    never inside one — so an interrupted run always stops at a state
+//!    the serial loop also passes through. Chunk sizes are properties
+//!    of the workload, never of the thread count or the budget.
+//! 2. **Checkpoints restart the same walk.** An interrupted fault-sim
+//!    or Monte Carlo run returns its merged per-fault state (detection
+//!    indices, hit counts) plus the stream position of the next chunk.
+//!    Because every merge rule above is order-independent and
+//!    chunk-invisible, a resumed run is **bit-identical to an
+//!    uninterrupted serial run** — the differential tests interrupt,
+//!    resume, and compare against serial at several thread counts.
+//! 3. **Forward progress.** Each budgeted call completes at least one
+//!    chunk before honoring a deadline or cancellation, so a resume
+//!    loop under an always-expired budget (`DYNMOS_BUDGET_MS=0`) still
+//!    terminates.
+//!
+//! **Exact → Monte Carlo degradation rule:** exact enumeration refuses
+//! a row space larger than [`crate::RunBudget::effective_exact_rows`]
+//! up front ([`crate::StopReason::RowCap`]) instead of hanging;
+//! [`crate::detection_probability_estimates`] then transparently falls
+//! back to the Monte Carlo estimator and labels each result with the
+//! method that produced it ([`crate::EstimateMethod`]), so callers —
+//! including the optimizer — always know which path ran.
+//!
+//! # Panic isolation
+//!
+//! [`try_run_sharded`] confines a panicking worker to its shard: the
+//! shard is retried **serially, once** (shards are deterministic pure
+//! functions of their range, so the retry result — and therefore the
+//! merge — is bit-identical to an all-healthy run). A shard that
+//! panics twice surfaces a structured [`ShardError`] instead of
+//! tearing down the process. [`run_sharded`] keeps its panicking
+//! signature on top of the same machinery.
+//!
 //! # `Send`/`Sync` requirements
 //!
 //! Workers share `&Network` and `&PreparedFault` across
@@ -192,34 +235,107 @@ pub fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// A worker shard that panicked even after its serial retry.
+#[derive(Debug, Clone)]
+pub struct ShardError {
+    /// The item range the failing worker owned.
+    pub shard: Range<usize>,
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault-shard worker panicked twice (shard {}..{}): {}",
+            self.shard.start, self.shard.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Renders a panic payload for [`ShardError::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `worker` over the shards of `0..n` on up to `threads` scoped
 /// threads and returns the per-shard results in shard (= item) order.
 /// With one shard the worker runs inline — the serial path and the
-/// 1-thread parallel path are literally the same code.
+/// 1-thread parallel path are literally the same code (and a panic
+/// there propagates untouched, exactly like any serial call).
 ///
-/// # Panics
+/// A worker thread that panics does not tear down the run: its shard
+/// is retried serially, once. Shards are deterministic pure functions
+/// of their range, so the retried result — and the merged whole — is
+/// bit-identical to an all-healthy run. Only a shard that fails twice
+/// yields an [`Err`].
 ///
-/// Propagates a panic from any worker.
-pub fn run_sharded<R, F>(n: usize, threads: usize, worker: F) -> Vec<R>
+/// # Errors
+///
+/// Returns a [`ShardError`] naming the shard whose worker panicked on
+/// both the threaded attempt and the serial retry.
+pub fn try_run_sharded<R, F>(n: usize, threads: usize, worker: F) -> Result<Vec<R>, ShardError>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
     let ranges = shard_ranges(n, threads);
     if ranges.len() <= 1 {
-        return ranges.into_iter().map(worker).collect();
+        return Ok(ranges.into_iter().map(worker).collect());
     }
     std::thread::scope(|s| {
         let worker = &worker;
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| s.spawn(move || worker(r)))
+            .map(|r| (r.clone(), s.spawn(move || worker(r))))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fault-shard worker panicked"))
-            .collect()
+        let mut out = Vec::with_capacity(handles.len());
+        for (range, h) in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                // The worker panicked: retry its shard serially, once.
+                // AssertUnwindSafe is sound here because `worker` is
+                // `Fn` over shared state — a panic cannot have left
+                // exclusive state half-mutated.
+                Err(_) => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker(range.clone())
+                })) {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        return Err(ShardError {
+                            shard: range,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                },
+            }
+        }
+        Ok(out)
     })
+}
+
+/// [`try_run_sharded`] with the historical panicking signature: a shard
+/// failing twice panics with the [`ShardError`] rendering.
+///
+/// # Panics
+///
+/// Propagates a worker panic only after the shard's serial retry also
+/// panicked.
+pub fn run_sharded<R, F>(n: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    try_run_sharded(n, threads, worker).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -301,6 +417,64 @@ mod tests {
     #[should_panic(expected = "DYNMOS_THREADS must be a non-negative integer")]
     fn thread_override_negative_panics() {
         parse_thread_override(Some("-2"));
+    }
+
+    #[test]
+    fn once_panicking_shard_is_retried_and_merges_identically() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let serial: Vec<usize> = run_sharded(100, 1, |r| r.map(|i| i * 3).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect();
+        let trips = AtomicUsize::new(0);
+        let healed: Vec<usize> = try_run_sharded(100, 4, |r| {
+            // Exactly one worker trips, on its threaded attempt only;
+            // the serial retry of the same shard succeeds.
+            if r.contains(&50) && trips.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected shard panic");
+            }
+            r.map(|i| i * 3).collect::<Vec<_>>()
+        })
+        .expect("retried shard heals the run")
+        .into_iter()
+        .flatten()
+        .collect();
+        assert_eq!(healed, serial);
+        assert_eq!(trips.load(Ordering::SeqCst), 2, "one retry, not more");
+    }
+
+    #[test]
+    fn twice_panicking_shard_surfaces_shard_error() {
+        let err = try_run_sharded(100, 4, |r| {
+            if r.contains(&50) {
+                panic!("injected persistent panic");
+            }
+            r.len()
+        })
+        .expect_err("persistently failing shard must error");
+        assert!(err.shard.contains(&50), "wrong shard blamed: {err}");
+        assert!(err.message.contains("injected persistent panic"));
+        assert!(err.to_string().contains("fault-shard worker panicked"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-shard worker panicked twice")]
+    fn run_sharded_panics_only_after_retry_fails() {
+        run_sharded(100, 4, |r| {
+            if r.contains(&50) {
+                panic!("always");
+            }
+            r.len()
+        });
+    }
+
+    #[test]
+    fn single_shard_panic_propagates_serially() {
+        // The inline path keeps serial semantics: no catch, no retry.
+        let caught = std::panic::catch_unwind(|| {
+            run_sharded(10, 1, |_| -> usize { panic!("inline") });
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Budget/checkpoint differential tests: a kernel run interrupted by a
+//! [`RunBudget`] and resumed from its checkpoint must be bit-identical
+//! to the uninterrupted serial run — per-fault detection indices,
+//! pattern counts, coverage curves, stream cursors, and Monte-Carlo
+//! estimates — at every tested thread count and on both shard axes
+//! (fault-sharded many-fault runs and pattern-sharded few-fault runs).
+
+use dynmos_netlist::generate::ripple_adder;
+use dynmos_protest::{
+    detection_probability_estimates, mc_detection_probabilities_budgeted,
+    mc_detection_probabilities_par, mc_detection_resume, mc_signal_probability_budgeted,
+    mc_signal_probability_par, mc_signal_resume, stuck_fault_list, EstimateMethod, FaultEntry,
+    FaultSimulator, Parallelism, PatternSource, RunBudget, RunStatus, StopReason,
+};
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 0xFACE;
+const PATTERN_BUDGET: u64 = 5000;
+
+/// Budget-interrupted-then-resumed fault simulation on the ISCAS-scale
+/// adder, across both shard axes (1 fault = pattern axis, 500 faults =
+/// fault axis) — the acceptance criterion of the budget subsystem.
+#[test]
+fn interrupted_fsim_resumes_bit_identical_to_serial() {
+    let net = ripple_adder(80); // 400 gates
+    let all = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    // Heavily biased weights keep hard-fault tails live deep into the
+    // budget, so resumed legs do real work over their whole ranges.
+    let probs = vec![0.0625f64; n];
+    // Fault 180 survives all 5000 patterns under these weights, so the
+    // single-fault (pattern-axis) run cannot finish by early coverage
+    // exit before the per-leg cap interrupts it.
+    let cases: [Vec<FaultEntry>; 2] = [
+        vec![all[180].clone()],
+        all.iter().take(500).cloned().collect(),
+    ];
+    for faults in cases {
+        let fault_count = faults.len();
+        let mut serial_src = PatternSource::new(SEED, probs.clone());
+        let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+            &faults,
+            &mut serial_src,
+            PATTERN_BUDGET,
+        );
+        for threads in THREAD_COUNTS {
+            // Each leg is capped at 1024 patterns, forcing repeated
+            // PatternCap interrupts before the 5000-pattern run ends.
+            let leg = || RunBudget::unlimited().with_max_patterns(1024);
+            let mut src = PatternSource::new(SEED, probs.clone());
+            let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(threads));
+            let mut run = sim.run_random_budgeted(&faults, &mut src, PATTERN_BUDGET, &leg());
+            let mut legs = 1usize;
+            while let Some(cp) = run.checkpoint.take() {
+                assert_eq!(
+                    run.status,
+                    RunStatus::Interrupted(StopReason::PatternCap),
+                    "{fault_count} faults, {threads} threads, leg {legs}"
+                );
+                // Partial outcomes are valid: never more patterns than
+                // the cap allows, detections a prefix of the final set.
+                assert!(run.outcome.patterns_applied <= legs as u64 * 1024);
+                run = sim.resume_random(&faults, &mut src, cp, &leg());
+                legs += 1;
+            }
+            assert!(
+                legs > 1,
+                "{fault_count} faults, {threads} threads: expected interrupts"
+            );
+            assert!(run.status.is_complete());
+            assert_eq!(
+                run.outcome.detected_at, serial.detected_at,
+                "{fault_count} faults: detection indices differ at {threads} threads"
+            );
+            assert_eq!(
+                run.outcome.patterns_applied, serial.patterns_applied,
+                "{fault_count} faults: pattern counts differ at {threads} threads"
+            );
+            assert_eq!(
+                run.outcome.coverage_curve, serial.coverage_curve,
+                "{fault_count} faults: coverage curves differ at {threads} threads"
+            );
+            assert_eq!(
+                src.position(),
+                serial_src.position(),
+                "{fault_count} faults: stream cursors differ at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The always-expired deadline is the adversarial resume loop: every
+/// leg stops at its first chunk boundary, and forward progress is the
+/// only thing driving the run to completion.
+#[test]
+fn expired_deadline_legs_still_complete_and_match_serial() {
+    let net = ripple_adder(24);
+    let faults = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    let probs = vec![0.25f64; n];
+    let mut serial_src = PatternSource::new(7, probs.clone());
+    let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+        &faults,
+        &mut serial_src,
+        4096,
+    );
+    let leg = || RunBudget::deadline_in(Duration::ZERO);
+    let mut src = PatternSource::new(7, probs.clone());
+    let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(2));
+    let mut run = sim.run_random_budgeted(&faults, &mut src, 4096, &leg());
+    let mut legs = 1usize;
+    while let Some(cp) = run.checkpoint.take() {
+        run = sim.resume_random(&faults, &mut src, cp, &leg());
+        legs += 1;
+        assert!(legs < 10_000, "no forward progress under expired deadline");
+    }
+    assert!(run.status.is_complete());
+    assert_eq!(run.outcome.detected_at, serial.detected_at);
+    assert_eq!(run.outcome.patterns_applied, serial.patterns_applied);
+    assert_eq!(run.outcome.coverage_curve, serial.coverage_curve);
+    assert_eq!(src.position(), serial_src.position());
+}
+
+/// Budget-interrupted-then-resumed Monte-Carlo detection estimation,
+/// across both shard axes (1 fault = pass axis, 24 faults = fault
+/// axis).
+#[test]
+fn interrupted_mc_detection_resumes_bit_identical() {
+    let net = ripple_adder(24);
+    let all = stuck_fault_list(&net);
+    let n = net.primary_inputs().len();
+    let probs: Vec<f64> = (0..n).map(|i| [0.9375, 0.5, 0.25][i % 3]).collect();
+    let samples = 9_999u64;
+    for fault_count in [1usize, 24] {
+        let faults: Vec<FaultEntry> = all.iter().take(fault_count).cloned().collect();
+        let serial =
+            mc_detection_probabilities_par(&net, &faults, &probs, 42, samples, Parallelism::Serial);
+        for threads in THREAD_COUNTS {
+            let par = Parallelism::Fixed(threads);
+            // 2048 samples per leg: five legs to finish 9 999.
+            let leg = || RunBudget::unlimited().with_max_patterns(2048);
+            let mut run = mc_detection_probabilities_budgeted(
+                &net,
+                &faults,
+                &probs,
+                42,
+                samples,
+                par,
+                &leg(),
+            );
+            let mut legs = 1usize;
+            while let Some(cp) = run.checkpoint.take() {
+                assert_eq!(run.status, RunStatus::Interrupted(StopReason::PatternCap));
+                run = mc_detection_resume(&net, &faults, &probs, 42, par, &leg(), cp);
+                legs += 1;
+            }
+            assert!(legs > 1, "{fault_count} faults at {threads} threads");
+            assert!(run.status.is_complete());
+            assert_eq!(
+                run.estimates, serial,
+                "{fault_count} faults: estimates differ at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Budget-interrupted-then-resumed Monte-Carlo signal estimation.
+#[test]
+fn interrupted_mc_signal_resumes_bit_identical() {
+    let net = ripple_adder(24);
+    let n = net.primary_inputs().len();
+    let probs: Vec<f64> = (0..n).map(|i| [0.75, 0.5][i % 2]).collect();
+    let po = net.primary_outputs()[0];
+    let serial = mc_signal_probability_par(&net, po, &probs, 99, 7_777, Parallelism::Serial);
+    for threads in THREAD_COUNTS {
+        let par = Parallelism::Fixed(threads);
+        let leg = || RunBudget::unlimited().with_max_patterns(2048);
+        let mut run = mc_signal_probability_budgeted(&net, po, &probs, 99, 7_777, par, &leg());
+        let mut legs = 1usize;
+        while let Some(cp) = run.checkpoint.take() {
+            run = mc_signal_resume(&net, po, &probs, 99, par, &leg(), cp);
+            legs += 1;
+        }
+        assert!(legs > 1, "threads={threads}");
+        assert!(run.status.is_complete());
+        assert_eq!(run.estimate, serial, "threads={threads}");
+    }
+}
+
+/// The exact→Monte-Carlo degradation rule through the public estimator:
+/// within the row cap the values are the exact enumeration's; over it
+/// the estimator reports sampled values with standard errors instead of
+/// refusing (the adder has 49 inputs — the old exact path would have
+/// asserted).
+#[test]
+fn estimator_degrades_exactly_at_the_row_cap() {
+    let net = ripple_adder(24); // 49 inputs: over any exact cap
+    let faults: Vec<FaultEntry> = stuck_fault_list(&net).into_iter().take(8).collect();
+    let n = net.primary_inputs().len();
+    let probs = vec![0.5f64; n];
+    let est = detection_probability_estimates(
+        &net,
+        &faults,
+        &probs,
+        0xBEEF,
+        Parallelism::Fixed(2),
+        &RunBudget::unlimited().with_max_exact_rows(1 << 12),
+    )
+    .expect("completes");
+    assert!(est.iter().all(|e| e.method == EstimateMethod::MonteCarlo));
+    assert!(est.iter().any(|e| e.value > 0.0 && e.std_error > 0.0));
+}

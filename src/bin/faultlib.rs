@@ -15,31 +15,64 @@
 //!
 //! # With the extended fault universe (line opens + inverter faults):
 //! cargo run --bin faultlib -- --full cell.txt
+//!
+//! # Bounded: stop the PROTEST statistics at a wall-clock budget
+//! # (exit code 3 marks a partial result; the library itself is
+//! # always complete):
+//! cargo run --bin faultlib -- --budget-ms 50 cell.txt
 //! ```
 
 use dynmos::model::{FaultLibrary, FaultUniverse};
 use dynmos::netlist::generate::single_cell_network;
 use dynmos::netlist::parse_cell;
-use dynmos::protest::{detection_probabilities, network_fault_list, test_length};
+use dynmos::protest::{
+    detection_probability_estimates, env_budget_ms, network_fault_list, try_test_length,
+    EstimateMethod, LengthError, Parallelism, RunBudget,
+};
 use std::io::Read;
 use std::process::ExitCode;
+
+/// Exit code for a run whose PROTEST statistics were cut short by the
+/// budget: the printed output is a valid partial result, not an error.
+const EXIT_PARTIAL: u8 = 3;
+
+/// Seed for the Monte-Carlo fallback when the cell's input space
+/// exceeds the exact-enumeration cap.
+const MC_SEED: u64 = 0x00DA_C086;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
     let mut path: Option<String> = None;
-    for a in &args {
-        match a.as_str() {
+    let mut budget_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--full" => full = true,
+            "--budget-ms" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(ms)) => budget_ms = Some(ms),
+                    _ => {
+                        eprintln!("faultlib: --budget-ms needs a millisecond count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: faultlib [--full] [CELL_FILE]");
+                eprintln!("usage: faultlib [--full] [--budget-ms MS] [CELL_FILE]");
                 eprintln!("  reads a cell description (paper syntax) from CELL_FILE or stdin");
-                eprintln!("  --full  include line opens and inverter faults");
+                eprintln!("  --full       include line opens and inverter faults");
+                eprintln!("  --budget-ms  wall-clock budget for the PROTEST statistics;");
+                eprintln!("               a partial result exits with code {EXIT_PARTIAL}");
+                eprintln!("               (DYNMOS_BUDGET_MS is the env fallback)");
                 return ExitCode::SUCCESS;
             }
             other => path = Some(other.to_owned()),
         }
+        i += 1;
     }
+    let budget_ms = budget_ms.or_else(env_budget_ms);
 
     let text = match &path {
         Some(p) => match std::fs::read_to_string(p) {
@@ -81,19 +114,66 @@ fn main() -> ExitCode {
     let lib = FaultLibrary::generate_with(&cell, universe);
     print!("{lib}");
 
-    // PROTEST summary when the exact enumerator applies.
-    if cell.input_count() <= 20 {
-        let net = single_cell_network(cell);
-        let faults = network_fault_list(&net);
-        let probs = vec![0.5; net.primary_inputs().len()];
-        let det = detection_probabilities(&net, &faults, &probs);
-        let hardest = det.iter().cloned().fold(f64::INFINITY, f64::min);
-        let n = test_length(&det, 0.999);
-        println!();
-        println!(
-            "random test (uniform inputs): hardest detection probability {hardest:.6}, \
-             length for 99.9% confidence: {n}"
-        );
+    // PROTEST summary: exact enumeration up to 2^20 rows, Monte-Carlo
+    // estimation beyond — no input-count gate needed any more.
+    let mut run_budget = RunBudget::unlimited().with_max_exact_rows(1 << 20);
+    if let Some(ms) = budget_ms {
+        run_budget.deadline =
+            Some(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    }
+    let net = single_cell_network(cell);
+    let faults = network_fault_list(&net);
+    let probs = vec![0.5; net.primary_inputs().len()];
+    let est = match detection_probability_estimates(
+        &net,
+        &faults,
+        &probs,
+        MC_SEED,
+        Parallelism::default(),
+        &run_budget,
+    ) {
+        Ok(est) => est,
+        Err(reason) => {
+            eprintln!(
+                "faultlib: PROTEST statistics interrupted ({reason}); \
+                 the fault library above is complete, detection statistics were skipped"
+            );
+            return ExitCode::from(EXIT_PARTIAL);
+        }
+    };
+    let values: Vec<f64> = est.iter().map(|e| e.value).collect();
+    let hardest = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let method = if est.iter().any(|e| e.method == EstimateMethod::MonteCarlo) {
+        "Monte-Carlo estimate"
+    } else {
+        "exact"
+    };
+    println!();
+    match try_test_length(&values, 0.999) {
+        Ok(u64::MAX) => {
+            println!(
+                "random test (uniform inputs, {method}): hardest detection probability \
+                 {hardest:.6}, length for 99.9% confidence: unbounded \
+                 (some fault was never detected)"
+            );
+        }
+        Ok(n) => {
+            println!(
+                "random test (uniform inputs, {method}): hardest detection probability \
+                 {hardest:.6}, length for 99.9% confidence: {n}"
+            );
+        }
+        Err(LengthError::Interrupted(reason)) => {
+            eprintln!(
+                "faultlib: test-length search interrupted ({reason}); \
+                 detection statistics above are complete"
+            );
+            return ExitCode::from(EXIT_PARTIAL);
+        }
+        Err(e) => {
+            eprintln!("faultlib: test-length: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
