@@ -18,7 +18,10 @@
 //! * [`apply_twice`] — the paper's A1/A2 strategy.
 
 pub mod podem;
+pub mod service;
 pub mod tri;
+
+pub use service::{register_atpg, AtpgJob};
 
 pub use podem::{
     apply_twice, generate_test, generate_test_set, generate_test_set_budgeted,

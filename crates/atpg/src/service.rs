@@ -1,0 +1,124 @@
+//! PODEM as a supervised job: adapts [`generate_test_set_budgeted`] to
+//! the `dynmos_protest::service` [`JobKernel`] contract, so the job
+//! engine supervises deterministic ATPG with the same
+//! retry/timeout/checkpoint machinery as the probabilistic kernels.
+//!
+//! The kernel commits its [`AtpgCheckpoint`] only on leg return, and
+//! the fault walk is deterministic, so a run killed and resumed any
+//! number of times produces the same test set as an uninterrupted one.
+
+use crate::podem::{generate_test_set_budgeted, AtpgCheckpoint, TestSetReport};
+use dynmos_netlist::Network;
+use dynmos_protest::budget::{RunBudget, RunStatus};
+use dynmos_protest::list::FaultEntry;
+use dynmos_protest::parallel::Parallelism;
+use dynmos_protest::service::jobs::param_u64;
+use dynmos_protest::service::{JobContext, JobEngine, JobKernel, Json};
+use std::sync::Arc;
+
+/// Default PODEM backtrack budget when the request omits
+/// `max_backtracks`.
+const DEFAULT_BACKTRACKS: u64 = 50;
+
+/// A supervised PODEM whole-list run.
+pub struct AtpgJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    max_backtracks: u64,
+    state: Option<AtpgCheckpoint>,
+    started: bool,
+    report: Option<TestSetReport>,
+    complete: bool,
+}
+
+impl AtpgJob {
+    /// Builds the job from a request (`max_backtracks`).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` keeps the factory signature
+    /// uniform.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        Ok(Self {
+            max_backtracks: param_u64(ctx.params, "max_backtracks", DEFAULT_BACKTRACKS),
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            state: None,
+            started: false,
+            report: None,
+            complete: false,
+        })
+    }
+}
+
+impl JobKernel for AtpgJob {
+    fn kind(&self) -> &'static str {
+        "atpg"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        let resume = match self.state.take() {
+            Some(cp) => Some(cp),
+            None if !self.started => {
+                self.started = true;
+                None
+            }
+            None => return RunStatus::Completed,
+        };
+        let run = generate_test_set_budgeted(
+            &self.net,
+            &self.faults,
+            self.max_backtracks,
+            self.parallelism,
+            budget,
+            resume,
+        );
+        self.state = run.checkpoint;
+        self.complete = run.status.is_complete();
+        self.report = Some(run.report);
+        run.status
+    }
+
+    fn output(&self) -> Json {
+        let mut members = vec![("kind".into(), Json::str("atpg"))];
+        if let Some(r) = &self.report {
+            members.push((
+                "tests".into(),
+                Json::Arr(
+                    r.tests
+                        .iter()
+                        .map(|t| {
+                            Json::str(
+                                t.iter()
+                                    .map(|&b| if b { '1' } else { '0' })
+                                    .collect::<String>(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+            members.push(("test_count".into(), Json::num(r.tests.len() as u64)));
+            members.push((
+                "redundant".into(),
+                Json::Arr(r.redundant.iter().map(|s| Json::str(s.clone())).collect()),
+            ));
+            members.push((
+                "aborted".into(),
+                Json::Arr(r.aborted.iter().map(|s| Json::str(s.clone())).collect()),
+            ));
+        }
+        members.push(("complete".into(), Json::Bool(self.complete)));
+        Json::Obj(members)
+    }
+}
+
+/// Registers the `atpg` job kind on an engine. The engine crate cannot
+/// depend on this one (the dependency points the other way), so the
+/// registration is explicit.
+pub fn register_atpg(engine: &mut JobEngine) {
+    engine.register_kind("atpg", |ctx| {
+        AtpgJob::from_request(ctx).map(|k| Box::new(k) as Box<dyn JobKernel>)
+    });
+}

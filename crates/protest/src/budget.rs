@@ -50,6 +50,11 @@ pub enum StopReason {
     /// The exact-enumeration row space exceeds the row cap (refused up
     /// front — no work was done).
     RowCap,
+    /// A sharded worker panicked twice (threaded attempt and serial
+    /// retry): the run stopped at the last merged chunk boundary with a
+    /// valid checkpoint, and the [`crate::ShardError`] travels next to
+    /// this reason so a supervisor can retry from the checkpoint.
+    WorkerFailed,
 }
 
 impl std::fmt::Display for StopReason {
@@ -59,6 +64,7 @@ impl std::fmt::Display for StopReason {
             StopReason::Cancelled => write!(f, "cancelled"),
             StopReason::PatternCap => write!(f, "pattern cap reached"),
             StopReason::RowCap => write!(f, "row space exceeds exact-enumeration cap"),
+            StopReason::WorkerFailed => write!(f, "worker failed after retry"),
         }
     }
 }
@@ -269,5 +275,9 @@ mod tests {
         assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
         assert_eq!(StopReason::PatternCap.to_string(), "pattern cap reached");
         assert!(StopReason::RowCap.to_string().contains("cap"));
+        assert_eq!(
+            StopReason::WorkerFailed.to_string(),
+            "worker failed after retry"
+        );
     }
 }

@@ -655,7 +655,7 @@ mod tests {
         let s0z = vec![list[s0z_index(&list)].clone()];
         let mut det = ExactDetector::new(&net, &s0z);
         det.set_parallelism(Parallelism::Fixed(8));
-        let p = det.probabilities(&vec![0.5; 13]);
+        let p = det.probabilities(&[0.5; 13]);
         assert!((p[0] - 0.5f64.powi(13)).abs() < 1e-15, "p={}", p[0]);
     }
 
@@ -693,7 +693,7 @@ mod tests {
         let mut det = ExactDetector::new(&net, &list);
         let tight = RunBudget::unlimited().with_max_exact_rows(1 << 10);
         assert_eq!(
-            det.try_probabilities(&vec![0.5; 13], &tight),
+            det.try_probabilities(&[0.5; 13], &tight),
             Err(StopReason::RowCap)
         );
     }

@@ -30,7 +30,7 @@
 
 use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
-use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
+use crate::parallel::{plan_shards, try_run_sharded, Parallelism, ShardError, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{Network, PackedEvaluator};
 use std::time::Duration;
@@ -163,6 +163,12 @@ pub struct BudgetedFsim {
     /// `Some` exactly when interrupted: resume with
     /// [`FaultSimulator::resume_random`].
     pub checkpoint: Option<FsimCheckpoint>,
+    /// `Some` exactly when the status is
+    /// [`RunStatus::Interrupted`]`(`[`StopReason::WorkerFailed`]`)`: the
+    /// shard whose worker panicked twice. The failed chunk was **not**
+    /// merged — outcome and checkpoint hold the state at the last
+    /// completed chunk boundary, so resuming retries the failed chunk.
+    pub worker_error: Option<ShardError>,
 }
 
 /// Serial-fault, pattern-parallel fault simulator with fault dropping and
@@ -216,16 +222,26 @@ impl<'n> FaultSimulator<'n> {
         source: &mut PatternSource,
         max_patterns: u64,
     ) -> FsimOutcome {
+        // A worker that failed even its serial retry keeps the
+        // historical panicking contract on this entry point.
+        let check = |run: &BudgetedFsim| {
+            if let Some(e) = &run.worker_error {
+                panic!("{e}");
+            }
+        };
         if let Some(ms) = budget::env_budget_ms() {
             let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
             let mut run = self.run_random_budgeted(faults, source, max_patterns, &leg());
+            check(&run);
             while let Some(cp) = run.checkpoint.take() {
                 run = self.resume_random(faults, source, cp, &leg());
+                check(&run);
             }
             return run.outcome;
         }
-        self.run_random_budgeted(faults, source, max_patterns, &RunBudget::unlimited())
-            .outcome
+        let run = self.run_random_budgeted(faults, source, max_patterns, &RunBudget::unlimited());
+        check(&run);
+        run.outcome
     }
 
     /// [`Self::run_random`] under a [`RunBudget`]: stops at the first
@@ -261,6 +277,7 @@ impl<'n> FaultSimulator<'n> {
                 },
                 status: RunStatus::Completed,
                 checkpoint: None,
+                worker_error: None,
             };
         }
         let checkpoint = FsimCheckpoint {
@@ -333,6 +350,7 @@ impl<'n> FaultSimulator<'n> {
         let cap_batches = run_budget.max_patterns.map(|p| p.div_ceil(64).max(1));
         let src: &PatternSource = source;
         let mut stop: Option<StopReason> = None;
+        let mut worker_error: Option<ShardError> = None;
         while batches_done < total_batches {
             let live: Vec<usize> = detected_at
                 .iter()
@@ -347,9 +365,14 @@ impl<'n> FaultSimulator<'n> {
                 span_end = span_end.min(call_start + cap);
             }
             let span = batches_done..span_end;
+            // A shard failing both its threaded attempt and serial
+            // retry stops the run *before* `batches_done` advances: the
+            // failed chunk's partial results are discarded whole, the
+            // checkpoint stays at the last merged boundary, and a
+            // resume (or supervisor retry) replays the failed chunk.
             match plan_shards(live.len(), span.end - span.start, threads) {
                 ShardPlan::Faults(workers) => {
-                    let results = run_sharded(live.len(), workers, |range| {
+                    match try_run_sharded(live.len(), workers, |range| {
                         self.random_span(
                             faults,
                             &live[range],
@@ -358,15 +381,23 @@ impl<'n> FaultSimulator<'n> {
                             span.clone(),
                             max_patterns,
                         )
-                    });
-                    for (&fi, d) in live.iter().zip(results.into_iter().flatten()) {
-                        if d.is_some() {
-                            detected_at[fi] = d;
+                    }) {
+                        Ok(results) => {
+                            for (&fi, d) in live.iter().zip(results.into_iter().flatten()) {
+                                if d.is_some() {
+                                    detected_at[fi] = d;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            worker_error = Some(e);
+                            stop = Some(StopReason::WorkerFailed);
+                            break;
                         }
                     }
                 }
                 ShardPlan::Patterns(workers) => {
-                    let spans = run_sharded((span.end - span.start) as usize, workers, |range| {
+                    match try_run_sharded((span.end - span.start) as usize, workers, |range| {
                         self.random_span(
                             faults,
                             &live,
@@ -375,10 +406,19 @@ impl<'n> FaultSimulator<'n> {
                             span.start + range.start as u64..span.start + range.end as u64,
                             max_patterns,
                         )
-                    });
-                    for (&fi, d) in live.iter().zip(merge_min_detection(live.len(), spans)) {
-                        if d.is_some() {
-                            detected_at[fi] = d;
+                    }) {
+                        Ok(spans) => {
+                            for (&fi, d) in live.iter().zip(merge_min_detection(live.len(), spans))
+                            {
+                                if d.is_some() {
+                                    detected_at[fi] = d;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            worker_error = Some(e);
+                            stop = Some(StopReason::WorkerFailed);
+                            break;
                         }
                     }
                 }
@@ -416,6 +456,7 @@ impl<'n> FaultSimulator<'n> {
                     max_patterns,
                     detected_at,
                 }),
+                worker_error,
             };
         }
         // Reconstruct the serial stopping point from the merged indices:
@@ -442,6 +483,7 @@ impl<'n> FaultSimulator<'n> {
             },
             status: RunStatus::Completed,
             checkpoint: None,
+            worker_error: None,
         }
     }
 

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod budget;
+pub mod chaos;
 pub mod detect;
 pub mod estimate;
 pub mod fsim;
@@ -49,9 +50,11 @@ pub mod montecarlo;
 pub mod optimize;
 pub mod parallel;
 pub mod random;
+pub mod service;
 pub mod symbolic;
 
 pub use budget::{env_budget_ms, RunBudget, RunStatus, StopReason, DEFAULT_EXACT_ROWS};
+pub use chaos::{env_fault_plan, FaultPlan, LegFault, WorkerFault};
 pub use detect::{
     detection_probabilities, detection_probability_estimates, exact_detection_probability,
     DetectionEstimate, EstimateMethod, ExactDetector,
@@ -77,6 +80,10 @@ pub use parallel::{
     plan_shards, run_sharded, shard_ranges, try_run_sharded, Parallelism, ShardError, ShardPlan,
 };
 pub use random::{PatternSource, StreamSpan};
+pub use service::{
+    BackoffPolicy, CacheStats, EngineConfig, Job, JobContext, JobEngine, JobKernel, JobRecord,
+    JobStatus, Json, NetlistFormat, NetworkCache, Rejection,
+};
 pub use symbolic::{
     bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,
     bdd_test_pattern,

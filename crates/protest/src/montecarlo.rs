@@ -21,7 +21,7 @@
 
 use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
-use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
+use crate::parallel::{plan_shards, try_run_sharded, Parallelism, ShardError, ShardPlan};
 use crate::random::PatternSource;
 use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
 use std::ops::Range;
@@ -100,6 +100,11 @@ pub struct BudgetedEstimates {
     /// `Some` exactly when interrupted: resume with
     /// [`mc_detection_resume`].
     pub checkpoint: Option<McCheckpoint>,
+    /// `Some` exactly when the status is
+    /// [`RunStatus::Interrupted`]`(`[`StopReason::WorkerFailed`]`)`: the
+    /// shard whose worker panicked twice. The failed chunk was not
+    /// merged; resuming retries it.
+    pub worker_error: Option<ShardError>,
 }
 
 /// Result of a budgeted single-net signal estimation.
@@ -112,6 +117,11 @@ pub struct BudgetedEstimate {
     /// `Some` exactly when interrupted: resume with
     /// [`mc_signal_resume`].
     pub checkpoint: Option<McCheckpoint>,
+    /// `Some` exactly when the status is
+    /// [`RunStatus::Interrupted`]`(`[`StopReason::WorkerFailed`]`)`: the
+    /// shard whose worker panicked twice. The failed chunk was not
+    /// merged; resuming retries it.
+    pub worker_error: Option<ShardError>,
 }
 
 fn estimate_from_counts(hits: u64, samples: u64) -> Estimate {
@@ -173,6 +183,13 @@ pub fn mc_signal_probability_par(
     samples: u64,
     parallelism: Parallelism,
 ) -> Estimate {
+    // A worker that failed even its serial retry keeps the historical
+    // panicking contract on this entry point.
+    let check = |run: &BudgetedEstimate| {
+        if let Some(e) = &run.worker_error {
+            panic!("{e}");
+        }
+    };
     if let Some(ms) = budget::env_budget_ms() {
         let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
         let mut run = mc_signal_probability_budgeted(
@@ -184,12 +201,14 @@ pub fn mc_signal_probability_par(
             parallelism,
             &leg(),
         );
+        check(&run);
         while let Some(cp) = run.checkpoint.take() {
             run = mc_signal_resume(net, target, pi_probs, seed, parallelism, &leg(), cp);
+            check(&run);
         }
         return run.estimate;
     }
-    mc_signal_probability_budgeted(
+    let run = mc_signal_probability_budgeted(
         net,
         target,
         pi_probs,
@@ -197,8 +216,9 @@ pub fn mc_signal_probability_par(
         samples,
         parallelism,
         &RunBudget::unlimited(),
-    )
-    .estimate
+    );
+    check(&run);
+    run.estimate
 }
 
 /// [`mc_signal_probability_par`] under a [`RunBudget`]: stops at the
@@ -320,6 +340,7 @@ fn mc_signal_walk(
         .max_patterns
         .map(|p| (p.div_ceil((WIDTH as u64) * 64) as usize).max(1));
     let mut stop: Option<StopReason> = None;
+    let mut worker_error: Option<ShardError> = None;
     while passes_done < total_passes {
         let mut end = (passes_done + chunk).min(total_passes);
         if let Some(cap) = cap_passes {
@@ -327,7 +348,10 @@ fn mc_signal_walk(
         }
         let range = passes_done..end;
         let workers = plan_shards(1, range.len() as u64, threads).workers();
-        hits[0] += run_sharded(range.len(), workers, |r| {
+        // A twice-failed shard stops the walk before `passes_done`
+        // advances: the failed chunk is discarded whole and the
+        // checkpoint stays at the last merged boundary.
+        match try_run_sharded(range.len(), workers, |r| {
             mc_signal_span(
                 net,
                 target,
@@ -335,9 +359,14 @@ fn mc_signal_walk(
                 range.start + r.start..range.start + r.end,
                 samples,
             )
-        })
-        .into_iter()
-        .sum::<u64>();
+        }) {
+            Ok(spans) => hits[0] += spans.into_iter().sum::<u64>(),
+            Err(e) => {
+                worker_error = Some(e);
+                stop = Some(StopReason::WorkerFailed);
+                break;
+            }
+        }
         passes_done = range.end;
         if passes_done >= total_passes {
             break;
@@ -364,11 +393,13 @@ fn mc_signal_walk(
                 samples,
                 hits,
             }),
+            worker_error,
         },
         None => BudgetedEstimate {
             estimate,
             status: RunStatus::Completed,
             checkpoint: None,
+            worker_error: None,
         },
     }
 }
@@ -456,6 +487,7 @@ pub fn mc_detection_probabilities_budgeted(
             estimates: Vec::new(),
             status: RunStatus::Completed,
             checkpoint: None,
+            worker_error: None,
         };
     }
     let faults: Vec<NetworkFault> = faults.iter().map(|e| e.fault.clone()).collect();
@@ -525,16 +557,25 @@ fn mc_detection_core(
         samples,
         hits: vec![0; faults.len()],
     };
+    // A worker that failed even its serial retry keeps the historical
+    // panicking contract on this entry point.
+    let check = |run: &BudgetedEstimates| {
+        if let Some(e) = &run.worker_error {
+            panic!("{e}");
+        }
+    };
     if let Some(ms) = budget::env_budget_ms() {
         let leg = || RunBudget::deadline_in(Duration::from_millis(ms));
         let mut run =
             mc_detection_walk(net, faults, pi_probs, seed, parallelism, &leg(), fresh(&()));
+        check(&run);
         while let Some(cp) = run.checkpoint.take() {
             run = mc_detection_walk(net, faults, pi_probs, seed, parallelism, &leg(), cp);
+            check(&run);
         }
         return run.estimates;
     }
-    mc_detection_walk(
+    let run = mc_detection_walk(
         net,
         faults,
         pi_probs,
@@ -542,8 +583,9 @@ fn mc_detection_core(
         parallelism,
         &RunBudget::unlimited(),
         fresh(&()),
-    )
-    .estimates
+    );
+    check(&run);
+    run.estimates
 }
 
 /// The chunked detection-estimation walk both entry points share. Each
@@ -578,29 +620,31 @@ fn mc_detection_walk(
         .max_patterns
         .map(|p| (p.div_ceil((WIDTH as u64) * 64) as usize).max(1));
     let mut stop: Option<StopReason> = None;
+    let mut worker_error: Option<ShardError> = None;
     while passes_done < total_passes {
         let mut end = (passes_done + chunk).min(total_passes);
         if let Some(cap) = cap_passes {
             end = end.min(call_start + cap);
         }
         let range = passes_done..end;
-        let chunk_hits: Vec<u64> = match plan_shards(faults.len(), range.len() as u64, threads) {
-            ShardPlan::Faults(workers) => run_sharded(faults.len(), workers, |fault_range| {
+        // A twice-failed shard stops the walk before `passes_done`
+        // advances: the failed chunk is discarded whole and the
+        // checkpoint stays at the last merged boundary.
+        let sharded = match plan_shards(faults.len(), range.len() as u64, threads) {
+            ShardPlan::Faults(workers) => try_run_sharded(faults.len(), workers, |fault_range| {
                 mc_detection_span(net, &faults[fault_range], &src, range.clone(), samples)
             })
-            .into_iter()
-            .flatten()
-            .collect(),
-            ShardPlan::Patterns(workers) => {
-                let spans = run_sharded(range.len(), workers, |pass_range| {
-                    mc_detection_span(
-                        net,
-                        faults,
-                        &src,
-                        range.start + pass_range.start..range.start + pass_range.end,
-                        samples,
-                    )
-                });
+            .map(|results| results.into_iter().flatten().collect::<Vec<u64>>()),
+            ShardPlan::Patterns(workers) => try_run_sharded(range.len(), workers, |pass_range| {
+                mc_detection_span(
+                    net,
+                    faults,
+                    &src,
+                    range.start + pass_range.start..range.start + pass_range.end,
+                    samples,
+                )
+            })
+            .map(|spans| {
                 // Disjoint pass ranges: per-fault hit counts add exactly.
                 let mut acc = vec![0u64; faults.len()];
                 for span in spans {
@@ -609,6 +653,14 @@ fn mc_detection_walk(
                     }
                 }
                 acc
+            }),
+        };
+        let chunk_hits: Vec<u64> = match sharded {
+            Ok(v) => v,
+            Err(e) => {
+                worker_error = Some(e);
+                stop = Some(StopReason::WorkerFailed);
+                break;
             }
         };
         for (h, c) in hits.iter_mut().zip(chunk_hits) {
@@ -643,11 +695,13 @@ fn mc_detection_walk(
                 samples,
                 hits,
             }),
+            worker_error,
         },
         None => BudgetedEstimates {
             estimates,
             status: RunStatus::Completed,
             checkpoint: None,
+            worker_error: None,
         },
     }
 }

@@ -91,6 +91,38 @@
 //! tearing down the process. [`run_sharded`] keeps its panicking
 //! signature on top of the same machinery.
 //!
+//! # Service & robustness contract
+//!
+//! The [`crate::service`] job engine supervises the budgeted kernels on
+//! top of the guarantees above. The contract it upholds (and that the
+//! fault-injection harness in [`crate::chaos`] proves in CI):
+//!
+//! - **Failure surfacing.** A shard that panics twice becomes
+//!   [`crate::StopReason::WorkerFailed`] on the budgeted kernels: the
+//!   run stops at the **last merged chunk boundary**, keeps every
+//!   already-merged detection/coverage result, and returns a resumable
+//!   checkpoint plus the [`ShardError`] — never a torn-down process,
+//!   never a half-merged chunk.
+//! - **Retry semantics.** The supervisor retries a job leg that died
+//!   (worker failure, injected kill) from its last checkpoint. The
+//!   retry bound applies to **consecutive** failed legs; any leg that
+//!   completes a chunk resets it. Exhausting the bound fails the job
+//!   with its partial result attached.
+//! - **Backoff bounds.** Delay before retry `k` is
+//!   `base · 2^(k-1)` capped at `cap`, scaled by a deterministic jitter
+//!   in `[0.5, 1.5)` — so the delay lies in `[base/2, 1.5·cap)` and the
+//!   schedule is a pure function of `(seed, job, k)`.
+//! - **Shed conditions.** The admission queue is bounded; a submit to a
+//!   full queue is rejected immediately with a structured reason
+//!   (capacity and pending count), never blocked or buffered
+//!   unboundedly.
+//! - **Determinism under retries.** Because checkpoints restart the
+//!   same chunk walk and merges are chunk-invisible, a job killed and
+//!   retried any number of times, at any thread count, produces results
+//!   **bit-identical** to one uninterrupted serial run — the
+//!   differential tests kill jobs on fixed and randomized schedules and
+//!   compare exact output bytes.
+//!
 //! # `Send`/`Sync` requirements
 //!
 //! Workers share `&Network` and `&PreparedFault` across
@@ -257,7 +289,7 @@ impl std::fmt::Display for ShardError {
 impl std::error::Error for ShardError {}
 
 /// Renders a panic payload for [`ShardError::message`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -290,33 +322,65 @@ where
 {
     let ranges = shard_ranges(n, threads);
     if ranges.len() <= 1 {
+        // The inline path keeps serial semantics: no catch, no retry,
+        // and no fault injection — a single-shard run *is* the serial
+        // reference the harness compares against.
         return Ok(ranges.into_iter().map(worker).collect());
     }
+    // Fault-injection probes run here, on the planning thread, so a
+    // thread-local `chaos::scoped` plan covers the kernels it calls.
+    let plan = crate::chaos::current();
     std::thread::scope(|s| {
         let worker = &worker;
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| (r.clone(), s.spawn(move || worker(r))))
+            .enumerate()
+            .map(|(idx, r)| {
+                // One probe per spawn, on this thread, in shard order —
+                // the decision is reused by the retry below so the
+                // probe sequence stays independent of panic outcomes.
+                let injected = plan.as_deref().and_then(|p| p.worker_fault(idx));
+                let handle = s.spawn(move || {
+                    if injected.is_some() {
+                        panic!("injected worker panic (DYNMOS_FAULT_PLAN)");
+                    }
+                    worker(r)
+                });
+                (idx, injected, handle)
+            })
             .collect();
-        let mut out = Vec::with_capacity(handles.len());
-        for (range, h) in handles {
-            match h.join() {
+        // Join every handle before judging any shard: an early return
+        // with panicked threads still unjoined would make the scope's
+        // implicit join re-raise their payloads.
+        let joined: Vec<_> = handles
+            .into_iter()
+            .map(|(idx, injected, h)| (idx, injected, h.join()))
+            .collect();
+        let mut out = Vec::with_capacity(joined.len());
+        for (idx, injected, join_result) in joined {
+            match join_result {
                 Ok(v) => out.push(v),
                 // The worker panicked: retry its shard serially, once.
                 // AssertUnwindSafe is sound here because `worker` is
                 // `Fn` over shared state — a panic cannot have left
                 // exclusive state half-mutated.
-                Err(_) => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker(range.clone())
-                })) {
-                    Ok(v) => out.push(v),
-                    Err(payload) => {
-                        return Err(ShardError {
-                            shard: range,
-                            message: panic_message(payload.as_ref()),
-                        })
+                Err(_) => {
+                    let range = shard_ranges(n, threads)[idx].clone();
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if injected == Some(crate::chaos::WorkerFault::PanicPersistent) {
+                            panic!("injected persistent worker panic (DYNMOS_FAULT_PLAN)");
+                        }
+                        worker(range.clone())
+                    })) {
+                        Ok(v) => out.push(v),
+                        Err(payload) => {
+                            return Err(ShardError {
+                                shard: range,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
                     }
-                },
+                }
             }
         }
         Ok(out)
@@ -419,6 +483,13 @@ mod tests {
         parse_thread_override(Some("-2"));
     }
 
+    /// Runs `f` with fault injection locally disabled: these tests
+    /// count panics and blame specific shards, so an ambient
+    /// `DYNMOS_FAULT_PLAN` (the CI chaos leg) must not add its own.
+    fn without_injection<R>(f: impl FnOnce() -> R) -> R {
+        crate::chaos::scoped(std::sync::Arc::new(crate::chaos::FaultPlan::new(0)), f)
+    }
+
     #[test]
     fn once_panicking_shard_is_retried_and_merges_identically() {
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -427,13 +498,15 @@ mod tests {
             .flatten()
             .collect();
         let trips = AtomicUsize::new(0);
-        let healed: Vec<usize> = try_run_sharded(100, 4, |r| {
-            // Exactly one worker trips, on its threaded attempt only;
-            // the serial retry of the same shard succeeds.
-            if r.contains(&50) && trips.fetch_add(1, Ordering::SeqCst) == 0 {
-                panic!("injected shard panic");
-            }
-            r.map(|i| i * 3).collect::<Vec<_>>()
+        let healed: Vec<usize> = without_injection(|| {
+            try_run_sharded(100, 4, |r| {
+                // Exactly one worker trips, on its threaded attempt only;
+                // the serial retry of the same shard succeeds.
+                if r.contains(&50) && trips.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected shard panic");
+                }
+                r.map(|i| i * 3).collect::<Vec<_>>()
+            })
         })
         .expect("retried shard heals the run")
         .into_iter()
@@ -445,11 +518,13 @@ mod tests {
 
     #[test]
     fn twice_panicking_shard_surfaces_shard_error() {
-        let err = try_run_sharded(100, 4, |r| {
-            if r.contains(&50) {
-                panic!("injected persistent panic");
-            }
-            r.len()
+        let err = without_injection(|| {
+            try_run_sharded(100, 4, |r| {
+                if r.contains(&50) {
+                    panic!("injected persistent panic");
+                }
+                r.len()
+            })
         })
         .expect_err("persistently failing shard must error");
         assert!(err.shard.contains(&50), "wrong shard blamed: {err}");
@@ -460,12 +535,37 @@ mod tests {
     #[test]
     #[should_panic(expected = "fault-shard worker panicked twice")]
     fn run_sharded_panics_only_after_retry_fails() {
-        run_sharded(100, 4, |r| {
-            if r.contains(&50) {
-                panic!("always");
-            }
-            r.len()
+        without_injection(|| {
+            run_sharded(100, 4, |r| {
+                if r.contains(&50) {
+                    panic!("always");
+                }
+                r.len()
+            })
         });
+    }
+
+    #[test]
+    fn transient_injected_panics_heal_bit_identically() {
+        let serial: Vec<usize> = (0..100).map(|i| i * 7).collect();
+        let plan = std::sync::Arc::new(crate::chaos::FaultPlan::new(11).worker_panic(1.0));
+        let healed: Vec<usize> = crate::chaos::scoped(plan, || {
+            try_run_sharded(100, 4, |r| r.map(|i| i * 7).collect::<Vec<_>>())
+        })
+        .expect("every injected panic is transient, every retry heals")
+        .into_iter()
+        .flatten()
+        .collect();
+        assert_eq!(healed, serial);
+    }
+
+    #[test]
+    fn persistent_injected_panics_surface_shard_error() {
+        let plan =
+            std::sync::Arc::new(crate::chaos::FaultPlan::new(11).worker_panic_persistent(1.0));
+        let err = crate::chaos::scoped(plan, || try_run_sharded(100, 4, |r| r.len()))
+            .expect_err("persistent injection must error");
+        assert!(err.message.contains("injected persistent worker panic"));
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! The supervised job engine: a bounded admission queue, a compiled-
+//! network cache, and a supervisor loop that runs each job in budgeted
+//! legs with deadline enforcement, bounded retry with exponential
+//! backoff + jitter, and checkpoint-carrying requeue.
+//!
+//! The engine is deliberately single-threaded at the supervisor level
+//! (the kernels shard internally via [`Parallelism`]); that keeps
+//! admission, cache access, and retry accounting trivially serialized
+//! and the whole service deterministic under a seeded
+//! [`FaultPlan`].
+
+use crate::budget::{RunBudget, RunStatus, StopReason};
+use crate::chaos::{self, mix64, FaultPlan, LegFault};
+use crate::list::{network_fault_list, stuck_fault_list};
+use crate::parallel::{panic_message, Parallelism};
+use crate::service::cache::{NetlistFormat, NetworkCache};
+use crate::service::jobs::{build_builtin, JobContext, JobKernel};
+use crate::service::json::Json;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with deterministic jitter: retry `k` sleeps
+/// `base·2^(k-1)` ms (capped at `cap_ms`), scaled by a jitter factor in
+/// `[0.5, 1.5)` drawn from a hash of `(seed, job, k)` — deterministic
+/// for a given policy, decorrelated across jobs and retries.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// First-retry delay in milliseconds. `0` disables sleeping
+    /// entirely (used by tests).
+    pub base_ms: u64,
+    /// Upper bound on the pre-jitter delay.
+    pub cap_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 25,
+            cap_ms: 2000,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `retry` (1-based) of job `job`.
+    pub fn delay(&self, job: u64, retry: u32) -> Duration {
+        if self.base_ms == 0 || retry == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(self.cap_ms);
+        let h = mix64(self.seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(retry));
+        let frac = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_millis((exp as f64 * frac) as u64)
+    }
+}
+
+/// Engine tuning knobs. [`EngineConfig::from_env`] additionally honors
+/// `DYNMOS_THREADS` and `DYNMOS_FAULT_PLAN`.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Admission bound: submissions beyond this many pending jobs are
+    /// shed with a structured [`Rejection`].
+    pub queue_capacity: usize,
+    /// Maximum *consecutive* failed legs (panic or
+    /// [`StopReason::WorkerFailed`]) before the job is marked
+    /// [`JobStatus::Failed`]. Any successful leg resets the count.
+    pub max_retries: u32,
+    /// Hard valve on total legs per job, against non-progressing
+    /// kernels.
+    pub max_legs: u32,
+    /// Per-leg wall-clock slice in milliseconds (`None` = the job's
+    /// deadline is the only timer).
+    pub leg_ms: Option<u64>,
+    /// Per-leg pattern/sample cap (`None` = unbounded legs). Tests use
+    /// this for deterministic leg boundaries — wall-clock slicing is
+    /// too coarse to be reproducible.
+    pub leg_patterns: Option<u64>,
+    /// Retry backoff policy.
+    pub backoff: BackoffPolicy,
+    /// Cache validation sampling: validate every n-th hit (0 = never).
+    pub validate_every: u64,
+    /// Thread policy handed to every kernel.
+    pub parallelism: Parallelism,
+    /// Fault-injection plan applied to supervised legs, worker shards,
+    /// and cache inserts (`None` = no injection).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_retries: 3,
+            max_legs: 100_000,
+            leg_ms: None,
+            leg_patterns: None,
+            backoff: BackoffPolicy::default(),
+            validate_every: 16,
+            parallelism: Parallelism::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default config with `DYNMOS_THREADS` and `DYNMOS_FAULT_PLAN`
+    /// applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `DYNMOS_FAULT_PLAN` is set but unparseable (same
+    /// fail-fast contract as the other `DYNMOS_*` knobs).
+    pub fn from_env() -> Self {
+        Self {
+            // `Parallelism::Auto` (the default) already honors
+            // `DYNMOS_THREADS` at resolve time.
+            fault_plan: chaos::env_fault_plan(),
+            ..Self::default()
+        }
+    }
+}
+
+/// A structured load-shedding verdict: why the submission was refused
+/// and how full the queue was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Human-readable reason (`"queue full"`).
+    pub reason: String,
+    /// The configured admission bound.
+    pub capacity: usize,
+    /// Jobs pending when the submission arrived.
+    pub pending: usize,
+}
+
+/// Terminal state of a supervised job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The kernel finished all its work; the result is bit-identical
+    /// to an uninterrupted run.
+    Completed,
+    /// The job's deadline passed; the result is the last checkpoint's
+    /// partial output.
+    DeadlineExceeded,
+    /// More than [`EngineConfig::max_retries`] consecutive legs died.
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire token (`completed` | `deadline-exceeded` | `failed`).
+    pub fn token(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::DeadlineExceeded => "deadline-exceeded",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// An admitted, not-yet-run job.
+pub struct Job {
+    /// Engine-assigned id (monotonic from 1).
+    pub id: u64,
+    /// The job-kind token.
+    pub kind: String,
+    /// Wall-clock allowance measured from the moment the supervisor
+    /// picks the job up (`None` = no deadline).
+    pub timeout: Option<Duration>,
+    /// The kernel carrying all job state between legs.
+    pub kernel: Box<dyn JobKernel>,
+}
+
+/// The supervisor's account of one finished job.
+pub struct JobRecord {
+    /// Engine-assigned id.
+    pub id: u64,
+    /// The job-kind token.
+    pub kind: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Legs run (including failed ones).
+    pub legs: u32,
+    /// Legs that died (panic or worker failure) and were retried.
+    pub retries: u32,
+    /// The last interruption reason observed, if any.
+    pub stop: Option<StopReason>,
+    /// The last failure message, if any leg died.
+    pub error: Option<String>,
+    /// The kernel's output (partial for non-completed jobs).
+    pub result: Json,
+    /// Wall-clock from pickup to terminal state.
+    pub elapsed: Duration,
+}
+
+impl JobRecord {
+    /// The record as a deterministic JSON object (elapsed time is
+    /// excluded — it is not reproducible).
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("ok".into(), Json::Bool(true)),
+            ("id".into(), Json::num(self.id)),
+            ("kind".into(), Json::str(self.kind.clone())),
+            ("status".into(), Json::str(self.status.token())),
+            ("legs".into(), Json::num(u64::from(self.legs))),
+            ("retries".into(), Json::num(u64::from(self.retries))),
+        ];
+        if let Some(e) = &self.error {
+            members.push(("error".into(), Json::str(e.clone())));
+        }
+        members.push(("result".into(), self.result.clone()));
+        Json::Obj(members)
+    }
+}
+
+type KernelFactory = Box<dyn Fn(JobContext<'_>) -> Result<Box<dyn JobKernel>, String>>;
+
+/// The job engine: admission queue + cache + supervisor loop.
+pub struct JobEngine {
+    config: EngineConfig,
+    cache: NetworkCache,
+    queue: VecDeque<Job>,
+    next_id: u64,
+    shed: u64,
+    kinds: Vec<(String, KernelFactory)>,
+}
+
+impl JobEngine {
+    /// An engine with the given config and an empty queue.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = NetworkCache::new(config.validate_every);
+        Self {
+            config,
+            cache,
+            queue: VecDeque::new(),
+            next_id: 0,
+            shed: 0,
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Registers an external kernel factory for `kind`. Registered
+    /// kinds take precedence over the built-ins.
+    pub fn register_kind(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(JobContext<'_>) -> Result<Box<dyn JobKernel>, String> + 'static,
+    ) {
+        self.kinds.push((kind.into(), Box::new(factory)));
+    }
+
+    /// Jobs waiting in the admission queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Engine counters as a JSON object.
+    pub fn stats_json(&self) -> Json {
+        let c = self.cache.stats();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("op".into(), Json::str("stats")),
+            ("pending".into(), Json::num(self.pending() as u64)),
+            ("shed".into(), Json::num(self.shed)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::num(self.cache.len() as u64)),
+                    ("hits".into(), Json::num(c.hits)),
+                    ("misses".into(), Json::num(c.misses)),
+                    ("validations".into(), Json::num(c.validations)),
+                    ("evictions".into(), Json::num(c.evictions)),
+                ]),
+            ),
+        ])
+    }
+
+    fn reject(&mut self, reason: &str) -> Json {
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), Json::str(reason.to_owned())),
+        ])
+    }
+
+    /// Admits a job described by a JSON request object
+    /// (`{"kind": ..., "format": "bench"|"cell", "netlist": ...,
+    /// kernel params...}`) and returns the admission verdict:
+    /// `{"ok":true,"id":n,"pending":n}` on admit,
+    /// `{"ok":false,"shed":true,...}` when the queue is full, or
+    /// `{"ok":false,"error":...}` for malformed requests.
+    pub fn submit_json(&mut self, request: &Json) -> Json {
+        let Some(kind) = request.get("kind").and_then(Json::as_str) else {
+            return self.reject("missing \"kind\"");
+        };
+        let kind = kind.to_owned();
+        // Shed before compiling anything: an overloaded service must
+        // refuse cheaply.
+        if self.queue.len() >= self.config.queue_capacity {
+            self.shed += 1;
+            return Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("shed".into(), Json::Bool(true)),
+                ("reason".into(), Json::str("queue full")),
+                (
+                    "capacity".into(),
+                    Json::num(self.config.queue_capacity as u64),
+                ),
+                ("pending".into(), Json::num(self.queue.len() as u64)),
+            ]);
+        }
+        let Some(source) = request.get("netlist").and_then(Json::as_str) else {
+            return self.reject("missing \"netlist\"");
+        };
+        let format = match request.get("format").and_then(Json::as_str) {
+            None => NetlistFormat::Bench,
+            Some(s) => match NetlistFormat::parse(s) {
+                Ok(f) => f,
+                Err(e) => return self.reject(&e),
+            },
+        };
+        let source = source.to_owned();
+        let net =
+            match self
+                .cache
+                .get_or_compile(format, &source, self.config.fault_plan.as_deref())
+            {
+                Ok(net) => net,
+                Err(e) => return self.reject(&format!("netlist does not compile: {e}")),
+            };
+        let mut faults = match format {
+            NetlistFormat::Bench => stuck_fault_list(&net),
+            NetlistFormat::Cell => network_fault_list(&net),
+        };
+        if let Some(limit) = request.get("fault_limit").and_then(Json::as_u64) {
+            faults.truncate(limit as usize);
+        }
+        let ctx = JobContext {
+            net,
+            faults,
+            parallelism: self.config.parallelism,
+            params: request,
+        };
+        let built = match self.kinds.iter().find(|(k, _)| *k == kind) {
+            Some((_, factory)) => Some(factory(ctx)),
+            None => build_builtin(&kind, ctx),
+        };
+        let kernel = match built {
+            Some(Ok(k)) => k,
+            Some(Err(e)) => return self.reject(&format!("bad {kind} request: {e}")),
+            None => return self.reject(&format!("unknown job kind {kind:?}")),
+        };
+        let timeout = request
+            .get("timeout_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis);
+        self.next_id += 1;
+        let id = self.next_id;
+        self.queue.push_back(Job {
+            id,
+            kind,
+            timeout,
+            kernel,
+        });
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("id".into(), Json::num(id)),
+            ("pending".into(), Json::num(self.queue.len() as u64)),
+        ])
+    }
+
+    /// Runs the oldest pending job to a terminal state and returns its
+    /// record (`None` when the queue is empty).
+    ///
+    /// The supervisor loop: each iteration probes the fault plan for
+    /// an injected leg fault, builds a [`RunBudget`] from the job
+    /// deadline and the per-leg slice, runs one kernel leg under
+    /// `catch_unwind`, and then either completes, retries with
+    /// backoff (bounded by consecutive failures), requeues the next
+    /// leg from the kernel's checkpoint, or gives up.
+    pub fn run_next(&mut self) -> Option<JobRecord> {
+        let mut job = self.queue.pop_front()?;
+        let started = Instant::now();
+        let job_deadline = job.timeout.map(|t| started + t);
+        let plan = self.config.fault_plan.clone();
+        let mut legs: u32 = 0;
+        let mut retries: u32 = 0;
+        let mut consecutive: u32 = 0;
+        let mut stop: Option<StopReason> = None;
+        let mut error: Option<String> = None;
+        let status = loop {
+            if legs >= self.config.max_legs {
+                error = Some(format!(
+                    "kernel made no progress within {} legs",
+                    self.config.max_legs
+                ));
+                break JobStatus::Failed;
+            }
+            let leg_idx = legs;
+            legs += 1;
+            // One leg-fault probe per leg, on this thread, in leg
+            // order — like the worker probes, the schedule depends
+            // only on the plan seed, never on prior outcomes.
+            let injected = plan.as_deref().and_then(|p| p.leg_fault(job.id, leg_idx));
+            let mut kill = false;
+            let mut expire = false;
+            match injected {
+                Some(LegFault::Kill) => kill = true,
+                Some(LegFault::Expire) => expire = true,
+                Some(LegFault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+            let mut budget = RunBudget {
+                deadline: job_deadline,
+                max_patterns: self.config.leg_patterns,
+                max_exact_rows: None,
+                cancel: None,
+            };
+            if let Some(ms) = self.config.leg_ms {
+                let slice = Instant::now() + Duration::from_millis(ms);
+                budget.deadline = Some(budget.deadline.map_or(slice, |d| d.min(slice)));
+            }
+            if expire {
+                // Artificial deadline expiry: the leg sees an already-
+                // expired budget and must checkpoint immediately.
+                budget.deadline = Some(Instant::now());
+            }
+            let kernel = &mut job.kernel;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if kill {
+                    panic!("injected job kill (fault plan)");
+                }
+                match &plan {
+                    Some(p) => chaos::scoped(p.clone(), || kernel.run_leg(&budget)),
+                    None => kernel.run_leg(&budget),
+                }
+            }));
+            match outcome {
+                Err(payload) => {
+                    consecutive += 1;
+                    retries += 1;
+                    error = Some(panic_message(payload.as_ref()));
+                    if consecutive > self.config.max_retries {
+                        break JobStatus::Failed;
+                    }
+                    let delay = self.config.backoff.delay(job.id, consecutive);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Ok(RunStatus::Interrupted(StopReason::WorkerFailed)) => {
+                    stop = Some(StopReason::WorkerFailed);
+                    consecutive += 1;
+                    retries += 1;
+                    error = job
+                        .kernel
+                        .last_error()
+                        .or(Some("worker failed after retry".into()));
+                    if consecutive > self.config.max_retries {
+                        break JobStatus::Failed;
+                    }
+                    let delay = self.config.backoff.delay(job.id, consecutive);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Ok(RunStatus::Completed) => break JobStatus::Completed,
+                Ok(RunStatus::Interrupted(reason)) => {
+                    // A clean checkpoint boundary: not a failure.
+                    stop = Some(reason);
+                    consecutive = 0;
+                    error = None;
+                    if job_deadline.is_some_and(|d| Instant::now() >= d) {
+                        break JobStatus::DeadlineExceeded;
+                    }
+                }
+            }
+        };
+        Some(JobRecord {
+            id: job.id,
+            kind: job.kind,
+            status,
+            legs,
+            retries,
+            stop,
+            error,
+            result: job.kernel.output(),
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Runs every pending job to a terminal state.
+    pub fn drain(&mut self) -> Vec<JobRecord> {
+        let mut records = Vec::new();
+        while let Some(record) = self.run_next() {
+            records.push(record);
+        }
+        records
+    }
+}

@@ -1,0 +1,721 @@
+//! The [`JobKernel`] abstraction and the built-in kernels wrapping
+//! every budgeted PROTEST kernel in this crate.
+//!
+//! A kernel runs in supervisor-scheduled **legs**: each
+//! [`JobKernel::run_leg`] call advances the job under one
+//! [`RunBudget`] and returns whether the job completed or stopped at a
+//! checkpointable boundary. Kernels commit state **only on return** —
+//! a leg that dies mid-flight (injected kill, worker panic) leaves the
+//! kernel exactly at its previous checkpoint, which is what makes
+//! supervisor retries bit-identical to an uninterrupted run for the
+//! checkpointed kernels (fault simulation, both Monte Carlo
+//! estimators) and merely idempotent-restarted for the rest.
+
+use crate::budget::{RunBudget, RunStatus};
+use crate::detect::{detection_probability_estimates, EstimateMethod};
+use crate::fsim::{FaultSimulator, FsimCheckpoint, FsimOutcome};
+use crate::length::{test_length_budgeted, LengthError};
+use crate::list::FaultEntry;
+use crate::montecarlo::{
+    mc_detection_probabilities_budgeted, mc_detection_resume, mc_signal_probability_budgeted,
+    mc_signal_resume, Estimate, McCheckpoint,
+};
+use crate::optimize::{optimize_input_probabilities_budgeted, OptimizeReport};
+use crate::parallel::Parallelism;
+use crate::random::PatternSource;
+use crate::service::json::Json;
+use dynmos_netlist::Network;
+use std::sync::Arc;
+
+/// Default seed for kernels whose request omits one (shared with the
+/// `faultlib` CLI).
+pub const DEFAULT_SEED: u64 = 0x00DA_C086;
+
+/// Default pattern/sample budget for fsim and Monte Carlo jobs.
+const DEFAULT_WORK: u64 = 10_000;
+
+/// Default confidence for length/optimize jobs.
+const DEFAULT_CONFIDENCE: f64 = 0.999;
+
+/// Everything a kernel factory gets to build a job from a request.
+pub struct JobContext<'a> {
+    /// The compiled network (shared with the cache).
+    pub net: Arc<Network>,
+    /// The fault list derived from the request.
+    pub faults: Vec<FaultEntry>,
+    /// The engine's thread policy.
+    pub parallelism: Parallelism,
+    /// The raw request object — kernels read their parameters from it
+    /// (see [`param_u64`] and friends).
+    pub params: &'a Json,
+}
+
+/// One supervised job kernel: a budgeted PROTEST kernel plus enough
+/// state to resume across legs.
+pub trait JobKernel: Send {
+    /// The job-kind token (`"fsim"`, `"mc-detect"`, …).
+    fn kind(&self) -> &'static str;
+
+    /// Advances the job under `budget`. Must commit state only on
+    /// return, and must make forward progress on every call with a
+    /// non-degenerate budget (the underlying kernels guarantee one
+    /// chunk per call).
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus;
+
+    /// The job's result so far — a deterministic JSON value (partial
+    /// results are valid for interrupted jobs; completed jobs report
+    /// results bit-identical to an uninterrupted run).
+    fn output(&self) -> Json;
+
+    /// The last worker failure this kernel observed, if any.
+    fn last_error(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Reads an unsigned-integer parameter with a default.
+pub fn param_u64(params: &Json, key: &str, default: u64) -> u64 {
+    params.get(key).and_then(Json::as_u64).unwrap_or(default)
+}
+
+/// Reads a float parameter with a default.
+pub fn param_f64(params: &Json, key: &str, default: f64) -> f64 {
+    params.get(key).and_then(Json::as_f64).unwrap_or(default)
+}
+
+/// Reads a per-input probability vector: the request's `probs` array
+/// when present (validated for arity and range), else `default` for
+/// every input.
+///
+/// # Errors
+///
+/// Returns a message on arity mismatch, non-numbers, or values outside
+/// `[0, 1]`.
+pub fn param_probs(params: &Json, n: usize, default: f64) -> Result<Vec<f64>, String> {
+    match params.get("probs") {
+        None => Ok(vec![default; n]),
+        Some(Json::Arr(items)) => {
+            if items.len() != n {
+                return Err(format!(
+                    "probs has {} entries, network has {n} inputs",
+                    items.len()
+                ));
+            }
+            items
+                .iter()
+                .map(|v| match v.as_f64() {
+                    Some(p) if (0.0..=1.0).contains(&p) => Ok(p),
+                    _ => Err(format!("probs entry {v} is not a probability")),
+                })
+                .collect()
+        }
+        Some(other) => Err(format!("probs must be an array, got {other}")),
+    }
+}
+
+fn estimates_json(estimates: &[Estimate]) -> Json {
+    Json::Arr(
+        estimates
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("value".into(), Json::Num(e.value)),
+                    ("half_width".into(), Json::Num(e.half_width)),
+                    ("samples".into(), Json::num(e.samples)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Weighted-random fault simulation ([`FaultSimulator`]) with a
+/// resumable [`FsimCheckpoint`] between legs.
+pub struct FsimJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    seed: u64,
+    probs: Vec<f64>,
+    max_patterns: u64,
+    state: Option<FsimCheckpoint>,
+    started: bool,
+    outcome: Option<FsimOutcome>,
+    complete: bool,
+    error: Option<String>,
+}
+
+impl FsimJob {
+    /// Builds the job from a request (`patterns`, `seed`, `probs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            seed: param_u64(ctx.params, "seed", DEFAULT_SEED),
+            max_patterns: param_u64(ctx.params, "patterns", DEFAULT_WORK),
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            state: None,
+            started: false,
+            outcome: None,
+            complete: false,
+            error: None,
+        })
+    }
+}
+
+impl JobKernel for FsimJob {
+    fn kind(&self) -> &'static str {
+        "fsim"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        // The source is rebuilt per leg: batch addressing in the
+        // checkpoint is absolute, so only the stream (seed + weights)
+        // matters, not a cursor surviving between legs.
+        let mut src = PatternSource::new(self.seed, self.probs.clone());
+        let sim = FaultSimulator::with_parallelism(&self.net, self.parallelism);
+        let run = match self.state.take() {
+            Some(cp) => sim.resume_random(&self.faults, &mut src, cp, budget),
+            None if !self.started => {
+                self.started = true;
+                sim.run_random_budgeted(&self.faults, &mut src, self.max_patterns, budget)
+            }
+            // Completed earlier and re-run: re-report the same result.
+            None => return RunStatus::Completed,
+        };
+        self.error = run.worker_error.map(|e| e.to_string());
+        self.state = run.checkpoint;
+        self.complete = run.status.is_complete();
+        self.outcome = Some(run.outcome);
+        run.status
+    }
+
+    fn output(&self) -> Json {
+        let Some(out) = &self.outcome else {
+            return Json::Obj(vec![("kind".into(), Json::str("fsim"))]);
+        };
+        Json::Obj(vec![
+            ("kind".into(), Json::str("fsim")),
+            ("patterns".into(), Json::num(out.patterns_applied)),
+            ("coverage".into(), Json::Num(out.coverage())),
+            (
+                "detected_at".into(),
+                Json::Arr(
+                    out.detected_at
+                        .iter()
+                        .map(|d| d.map_or(Json::Null, Json::num))
+                        .collect(),
+                ),
+            ),
+            ("complete".into(), Json::Bool(self.complete)),
+        ])
+    }
+
+    fn last_error(&self) -> Option<String> {
+        self.error.clone()
+    }
+}
+
+/// Monte Carlo detection-probability estimation with a resumable
+/// [`McCheckpoint`].
+pub struct McDetectJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    seed: u64,
+    probs: Vec<f64>,
+    samples: u64,
+    state: Option<McCheckpoint>,
+    started: bool,
+    estimates: Vec<Estimate>,
+    complete: bool,
+    error: Option<String>,
+}
+
+impl McDetectJob {
+    /// Builds the job from a request (`samples`, `seed`, `probs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            seed: param_u64(ctx.params, "seed", DEFAULT_SEED),
+            samples: param_u64(ctx.params, "samples", DEFAULT_WORK).max(1),
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            state: None,
+            started: false,
+            estimates: Vec::new(),
+            complete: false,
+            error: None,
+        })
+    }
+}
+
+impl JobKernel for McDetectJob {
+    fn kind(&self) -> &'static str {
+        "mc-detect"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        let run = match self.state.take() {
+            Some(cp) => mc_detection_resume(
+                &self.net,
+                &self.faults,
+                &self.probs,
+                self.seed,
+                self.parallelism,
+                budget,
+                cp,
+            ),
+            None if !self.started => {
+                self.started = true;
+                mc_detection_probabilities_budgeted(
+                    &self.net,
+                    &self.faults,
+                    &self.probs,
+                    self.seed,
+                    self.samples,
+                    self.parallelism,
+                    budget,
+                )
+            }
+            None => return RunStatus::Completed,
+        };
+        self.error = run.worker_error.map(|e| e.to_string());
+        self.state = run.checkpoint;
+        self.complete = run.status.is_complete();
+        self.estimates = run.estimates;
+        run.status
+    }
+
+    fn output(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str("mc-detect")),
+            ("estimates".into(), estimates_json(&self.estimates)),
+            ("complete".into(), Json::Bool(self.complete)),
+        ])
+    }
+
+    fn last_error(&self) -> Option<String> {
+        self.error.clone()
+    }
+}
+
+/// Monte Carlo signal-probability estimation for one primary output,
+/// with a resumable [`McCheckpoint`].
+pub struct McSignalJob {
+    net: Arc<Network>,
+    parallelism: Parallelism,
+    output_index: usize,
+    seed: u64,
+    probs: Vec<f64>,
+    samples: u64,
+    state: Option<McCheckpoint>,
+    started: bool,
+    estimate: Option<Estimate>,
+    complete: bool,
+    error: Option<String>,
+}
+
+impl McSignalJob {
+    /// Builds the job from a request (`output` index, `samples`,
+    /// `seed`, `probs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs` or an out-of-range
+    /// `output`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        let outputs = ctx.net.primary_outputs().len();
+        let output_index = param_u64(ctx.params, "output", 0) as usize;
+        if output_index >= outputs {
+            return Err(format!(
+                "output index {output_index} out of range (network has {outputs} outputs)"
+            ));
+        }
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            seed: param_u64(ctx.params, "seed", DEFAULT_SEED),
+            samples: param_u64(ctx.params, "samples", DEFAULT_WORK).max(1),
+            output_index,
+            net: ctx.net,
+            parallelism: ctx.parallelism,
+            state: None,
+            started: false,
+            estimate: None,
+            complete: false,
+            error: None,
+        })
+    }
+}
+
+impl JobKernel for McSignalJob {
+    fn kind(&self) -> &'static str {
+        "mc-signal"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        let target = self.net.primary_outputs()[self.output_index];
+        let run = match self.state.take() {
+            Some(cp) => mc_signal_resume(
+                &self.net,
+                target,
+                &self.probs,
+                self.seed,
+                self.parallelism,
+                budget,
+                cp,
+            ),
+            None if !self.started => {
+                self.started = true;
+                mc_signal_probability_budgeted(
+                    &self.net,
+                    target,
+                    &self.probs,
+                    self.seed,
+                    self.samples,
+                    self.parallelism,
+                    budget,
+                )
+            }
+            None => return RunStatus::Completed,
+        };
+        self.error = run.worker_error.map(|e| e.to_string());
+        self.state = run.checkpoint;
+        self.complete = run.status.is_complete();
+        self.estimate = Some(run.estimate);
+        run.status
+    }
+
+    fn output(&self) -> Json {
+        let mut members = vec![
+            ("kind".into(), Json::str("mc-signal")),
+            ("output".into(), Json::num(self.output_index as u64)),
+        ];
+        if let Some(e) = &self.estimate {
+            members.push(("value".into(), Json::Num(e.value)));
+            members.push(("half_width".into(), Json::Num(e.half_width)));
+            members.push(("samples".into(), Json::num(e.samples)));
+        }
+        members.push(("complete".into(), Json::Bool(self.complete)));
+        Json::Obj(members)
+    }
+
+    fn last_error(&self) -> Option<String> {
+        self.error.clone()
+    }
+}
+
+/// The exact-with-Monte-Carlo-degradation detection estimator
+/// ([`detection_probability_estimates`]). No checkpoint exists for this
+/// kernel, so an interrupted leg restarts from scratch — completion is
+/// still deterministic because the estimator is a pure function of
+/// `(net, faults, probs, seed)`.
+pub struct DetectEstimatesJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    seed: u64,
+    probs: Vec<f64>,
+    max_exact_rows: Option<u64>,
+    result: Option<Vec<(f64, f64, EstimateMethod)>>,
+}
+
+impl DetectEstimatesJob {
+    /// Builds the job from a request (`seed`, `probs`,
+    /// `max_exact_rows`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            seed: param_u64(ctx.params, "seed", DEFAULT_SEED),
+            max_exact_rows: ctx.params.get("max_exact_rows").and_then(Json::as_u64),
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            result: None,
+        })
+    }
+
+    fn budget_with_rows(&self, budget: &RunBudget) -> RunBudget {
+        let mut b = budget.clone();
+        b.max_exact_rows = self.max_exact_rows.or(b.max_exact_rows);
+        b
+    }
+}
+
+impl JobKernel for DetectEstimatesJob {
+    fn kind(&self) -> &'static str {
+        "detect"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        if self.result.is_some() {
+            return RunStatus::Completed;
+        }
+        match detection_probability_estimates(
+            &self.net,
+            &self.faults,
+            &self.probs,
+            self.seed,
+            self.parallelism,
+            &self.budget_with_rows(budget),
+        ) {
+            Ok(est) => {
+                self.result = Some(
+                    est.iter()
+                        .map(|e| (e.value, e.std_error, e.method))
+                        .collect(),
+                );
+                RunStatus::Completed
+            }
+            Err(reason) => RunStatus::Interrupted(reason),
+        }
+    }
+
+    fn output(&self) -> Json {
+        let estimates = self.result.as_deref().unwrap_or(&[]);
+        Json::Obj(vec![
+            ("kind".into(), Json::str("detect")),
+            (
+                "estimates".into(),
+                Json::Arr(
+                    estimates
+                        .iter()
+                        .map(|(value, std_error, method)| {
+                            Json::Obj(vec![
+                                ("value".into(), Json::Num(*value)),
+                                ("std_error".into(), Json::Num(*std_error)),
+                                (
+                                    "method".into(),
+                                    Json::str(match method {
+                                        EstimateMethod::Exact => "exact",
+                                        EstimateMethod::MonteCarlo => "monte-carlo",
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("complete".into(), Json::Bool(self.result.is_some())),
+        ])
+    }
+}
+
+/// Two-phase test-length job: detection probabilities (phase 1, cached
+/// at the phase boundary) then the joint-confidence length search
+/// (phase 2). Phase 1 has no checkpoint — an interrupted leg restarts
+/// it — but once cached it survives later leg deaths.
+pub struct TestLengthJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    seed: u64,
+    probs: Vec<f64>,
+    confidence: f64,
+    values: Option<Vec<f64>>,
+    length: Option<u64>,
+    failure: Option<String>,
+}
+
+impl TestLengthJob {
+    /// Builds the job from a request (`confidence`, `seed`, `probs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            seed: param_u64(ctx.params, "seed", DEFAULT_SEED),
+            confidence: param_f64(ctx.params, "confidence", DEFAULT_CONFIDENCE),
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            values: None,
+            length: None,
+            failure: None,
+        })
+    }
+}
+
+impl JobKernel for TestLengthJob {
+    fn kind(&self) -> &'static str {
+        "length"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        if self.length.is_some() || self.failure.is_some() {
+            return RunStatus::Completed;
+        }
+        if self.values.is_none() {
+            match detection_probability_estimates(
+                &self.net,
+                &self.faults,
+                &self.probs,
+                self.seed,
+                self.parallelism,
+                budget,
+            ) {
+                Ok(est) => self.values = Some(est.iter().map(|e| e.value).collect()),
+                Err(reason) => return RunStatus::Interrupted(reason),
+            }
+            // Phase boundary: honor the budget before starting the
+            // search so a timed-out leg checkpoints here.
+            if let Some(reason) = budget.stop_requested() {
+                return RunStatus::Interrupted(reason);
+            }
+        }
+        let values = self.values.as_ref().expect("phase 1 done");
+        match test_length_budgeted(values, self.confidence, self.parallelism, budget) {
+            Ok(n) => {
+                self.length = Some(n);
+                RunStatus::Completed
+            }
+            Err(LengthError::Interrupted(reason)) => RunStatus::Interrupted(reason),
+            Err(e) => {
+                // Bad inputs are permanent, not retryable: report the
+                // failure in the output and complete the job.
+                self.failure = Some(e.to_string());
+                RunStatus::Completed
+            }
+        }
+    }
+
+    fn output(&self) -> Json {
+        let mut members = vec![
+            ("kind".into(), Json::str("length")),
+            ("confidence".into(), Json::Num(self.confidence)),
+        ];
+        match self.length {
+            // u64::MAX is the kernels' "some fault is never detected"
+            // sentinel; JSON readers get an explicit flag instead.
+            Some(u64::MAX) => {
+                members.push(("length".into(), Json::Null));
+                members.push(("unbounded".into(), Json::Bool(true)));
+            }
+            Some(n) => members.push(("length".into(), Json::num(n))),
+            None => members.push(("length".into(), Json::Null)),
+        }
+        if let Some(f) = &self.failure {
+            members.push(("error".into(), Json::str(f.clone())));
+        }
+        members.push((
+            "complete".into(),
+            Json::Bool(self.length.is_some() || self.failure.is_some()),
+        ));
+        Json::Obj(members)
+    }
+}
+
+/// Input-probability optimization ([`optimize_input_probabilities_budgeted`]).
+/// The optimizer keeps best-so-far state internally per call but has no
+/// cross-call checkpoint, so an interrupted leg restarts the descent;
+/// the job reports the best report seen across legs' completions.
+pub struct OptimizeJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    confidence: f64,
+    max_sweeps: usize,
+    report: Option<OptimizeReport>,
+    complete: bool,
+}
+
+impl OptimizeJob {
+    /// Builds the job from a request (`confidence`, `max_sweeps`).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` keeps the factory signature
+    /// uniform.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        Ok(Self {
+            confidence: param_f64(ctx.params, "confidence", DEFAULT_CONFIDENCE),
+            max_sweeps: param_u64(ctx.params, "max_sweeps", 2) as usize,
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            report: None,
+            complete: false,
+        })
+    }
+}
+
+impl JobKernel for OptimizeJob {
+    fn kind(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        if self.complete {
+            return RunStatus::Completed;
+        }
+        let run = optimize_input_probabilities_budgeted(
+            &self.net,
+            &self.faults,
+            self.confidence,
+            self.max_sweeps,
+            self.parallelism,
+            budget,
+        );
+        self.complete = run.status.is_complete();
+        self.report = Some(run.report);
+        run.status
+    }
+
+    fn output(&self) -> Json {
+        let mut members = vec![("kind".into(), Json::str("optimize"))];
+        if let Some(r) = &self.report {
+            members.push((
+                "probabilities".into(),
+                Json::Arr(r.probabilities.iter().map(|&p| Json::Num(p)).collect()),
+            ));
+            members.push(("uniform_length".into(), Json::num(r.uniform_length)));
+            members.push(("optimized_length".into(), Json::num(r.optimized_length)));
+            members.push(("sweeps".into(), Json::num(r.sweeps as u64)));
+        }
+        members.push(("complete".into(), Json::Bool(self.complete)));
+        Json::Obj(members)
+    }
+}
+
+/// Builds a built-in kernel for `kind`, or `None` when the kind is not
+/// built in (the engine then consults its registered factories).
+///
+/// Built-in kinds: `fsim`, `mc-detect`, `mc-signal`, `detect`,
+/// `length`, `optimize`.
+pub fn build_builtin(
+    kind: &str,
+    ctx: JobContext<'_>,
+) -> Option<Result<Box<dyn JobKernel>, String>> {
+    fn boxed<K: JobKernel + 'static>(r: Result<K, String>) -> Result<Box<dyn JobKernel>, String> {
+        r.map(|k| Box::new(k) as Box<dyn JobKernel>)
+    }
+    Some(match kind {
+        "fsim" => boxed(FsimJob::from_request(ctx)),
+        "mc-detect" => boxed(McDetectJob::from_request(ctx)),
+        "mc-signal" => boxed(McSignalJob::from_request(ctx)),
+        "detect" => boxed(DetectEstimatesJob::from_request(ctx)),
+        "length" => boxed(TestLengthJob::from_request(ctx)),
+        "optimize" => boxed(OptimizeJob::from_request(ctx)),
+        _ => return None,
+    })
+}

@@ -188,6 +188,88 @@ fn interrupted_mc_signal_resumes_bit_identical() {
     }
 }
 
+/// A worker that panics on both the sharded attempt and the serial
+/// retry must surface as `Interrupted(WorkerFailed)` with the
+/// [`dynmos_protest::ShardError`] attached — without losing coverage
+/// already merged from earlier chunks: the checkpoint stays at the last
+/// merged boundary, and a healthy resume from it finishes bit-identical
+/// to the uninterrupted serial run.
+#[test]
+fn double_panicking_worker_surfaces_error_and_keeps_merged_coverage() {
+    use dynmos_protest::chaos;
+    use dynmos_protest::FaultPlan;
+    use std::sync::Arc;
+
+    let net = ripple_adder(80);
+    let faults: Vec<FaultEntry> = stuck_fault_list(&net).into_iter().take(500).collect();
+    let n = net.primary_inputs().len();
+    let probs = vec![0.0625f64; n];
+    let mut serial_src = PatternSource::new(SEED, probs.clone());
+    let serial = FaultSimulator::with_parallelism(&net, Parallelism::Serial).run_random(
+        &faults,
+        &mut serial_src,
+        PATTERN_BUDGET,
+    );
+    let sim = FaultSimulator::with_parallelism(&net, Parallelism::Fixed(2));
+    let leg = || RunBudget::unlimited().with_max_patterns(1024);
+
+    // Leg 1 under an inert plan: a clean 1024-pattern chunk merges.
+    let inert = Arc::new(FaultPlan::new(0));
+    let mut src = PatternSource::new(SEED, probs.clone());
+    let run = chaos::scoped(inert.clone(), || {
+        sim.run_random_budgeted(&faults, &mut src, PATTERN_BUDGET, &leg())
+    });
+    assert_eq!(run.status, RunStatus::Interrupted(StopReason::PatternCap));
+    assert!(run.worker_error.is_none());
+    let cp = run.checkpoint.expect("leg 1 checkpoint");
+    let merged_patterns = cp.patterns_done();
+    let merged_detected = cp.detected_count();
+    assert_eq!(merged_patterns, 1024);
+
+    // Leg 2 under a plan whose workers panic on the sharded attempt
+    // AND the serial retry: the leg must stop with WorkerFailed, keep
+    // the error, and keep the checkpoint at the leg-1 boundary (the
+    // failed chunk is not merged).
+    let hostile = Arc::new(FaultPlan::new(3).worker_panic_persistent(1.0));
+    let run = chaos::scoped(hostile, || sim.resume_random(&faults, &mut src, cp, &leg()));
+    assert_eq!(run.status, RunStatus::Interrupted(StopReason::WorkerFailed));
+    let err = run.worker_error.expect("shard error travels with the stop");
+    assert!(
+        err.to_string().contains("injected persistent worker panic"),
+        "unexpected shard error: {err}"
+    );
+    let cp = run.checkpoint.expect("checkpoint survives the failure");
+    assert_eq!(
+        cp.patterns_done(),
+        merged_patterns,
+        "failed chunk must not advance the checkpoint"
+    );
+    assert_eq!(
+        cp.detected_count(),
+        merged_detected,
+        "already-merged coverage lost by the failed leg"
+    );
+
+    // Healthy resume loop from that same checkpoint: bit-identical to
+    // the uninterrupted serial run. The stream is rebuilt because the
+    // failed leg consumed source batches for the unmerged chunk;
+    // checkpoint batch addressing is absolute, so only seed and
+    // weights matter.
+    let mut src = PatternSource::new(SEED, probs.clone());
+    let run = chaos::scoped(inert, || {
+        let mut run = sim.resume_random(&faults, &mut src, cp, &leg());
+        while let Some(cp) = run.checkpoint.take() {
+            run = sim.resume_random(&faults, &mut src, cp, &leg());
+        }
+        run
+    });
+    assert!(run.status.is_complete());
+    assert!(run.worker_error.is_none());
+    assert_eq!(run.outcome.detected_at, serial.detected_at);
+    assert_eq!(run.outcome.patterns_applied, serial.patterns_applied);
+    assert_eq!(run.outcome.coverage_curve, serial.coverage_curve);
+}
+
 /// The exact→Monte-Carlo degradation rule through the public estimator:
 /// within the row cap the values are the exact enumeration's; over it
 /// the estimator reports sampled values with standard errors instead of

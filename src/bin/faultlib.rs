@@ -1,9 +1,12 @@
-//! `faultlib` — the paper's library-generation workflow as a CLI.
+//! `faultlib` — the paper's library-generation workflow as a CLI, plus
+//! `faultlib serve`, a JSON-lines front end to the supervised job
+//! engine (`dynmos_protest::service`).
 //!
-//! Reads a cell description in the paper's syntax (Fig. 9) from a file or
-//! stdin and prints the generated fault library: all distinguishable
-//! faulty functions in minimum disjunctive form, with fault-equivalence
-//! classes collapsed, plus PROTEST-style detection statistics.
+//! Classic mode reads a cell description in the paper's syntax (Fig. 9)
+//! from a file or stdin and prints the generated fault library: all
+//! distinguishable faulty functions in minimum disjunctive form, with
+//! fault-equivalence classes collapsed, plus PROTEST-style detection
+//! statistics.
 //!
 //! ```sh
 //! # From a file:
@@ -20,16 +23,27 @@
 //! # (exit code 3 marks a partial result; the library itself is
 //! # always complete):
 //! cargo run --bin faultlib -- --budget-ms 50 cell.txt
+//!
+//! # Job service: one JSON request/response per line on stdin/stdout.
+//! printf '%s\n%s\n' \
+//!     '{"op":"submit","kind":"fsim","format":"bench","netlist":"...","patterns":4096}' \
+//!     '{"op":"run"}' | cargo run --bin faultlib -- serve
 //! ```
+//!
+//! Every exit path prints one machine-readable status line to stderr:
+//! `status=completed`, `status=interrupted reason=<token>`, or
+//! `status=failed reason=<token>` — so harnesses (and the CI
+//! fault-injection leg) can classify outcomes without parsing prose.
 
+use dynmos::atpg::register_atpg;
 use dynmos::model::{FaultLibrary, FaultUniverse};
 use dynmos::netlist::generate::single_cell_network;
 use dynmos::netlist::parse_cell;
 use dynmos::protest::{
     detection_probability_estimates, env_budget_ms, network_fault_list, try_test_length,
-    EstimateMethod, LengthError, Parallelism, RunBudget,
+    EngineConfig, EstimateMethod, JobEngine, Json, LengthError, Parallelism, RunBudget, StopReason,
 };
-use std::io::Read;
+use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 /// Exit code for a run whose PROTEST statistics were cut short by the
@@ -40,8 +54,38 @@ const EXIT_PARTIAL: u8 = 3;
 /// exceeds the exact-enumeration cap.
 const MC_SEED: u64 = 0x00DA_C086;
 
+/// The machine-readable token for an interruption reason.
+fn stop_token(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::Deadline => "deadline",
+        StopReason::Cancelled => "cancelled",
+        StopReason::PatternCap => "pattern-cap",
+        StopReason::RowCap => "row-cap",
+        StopReason::WorkerFailed => "worker-failed",
+    }
+}
+
+/// The one-line machine-readable exit status (stderr, every exit path).
+fn status_line(line: &str) {
+    eprintln!("status={line}");
+}
+
+fn fail(reason: &str, msg: &str) -> ExitCode {
+    eprintln!("faultlib: {msg}");
+    status_line(&format!("failed reason={reason}"));
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
+    classic(&args)
+}
+
+/// The original library-generation workflow.
+fn classic(args: &[String]) -> ExitCode {
     let mut full = false;
     let mut path: Option<String> = None;
     let mut budget_ms: Option<u64> = None;
@@ -53,19 +97,20 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).map(|v| v.parse::<u64>()) {
                     Some(Ok(ms)) => budget_ms = Some(ms),
-                    _ => {
-                        eprintln!("faultlib: --budget-ms needs a millisecond count");
-                        return ExitCode::FAILURE;
-                    }
+                    _ => return fail("args", "--budget-ms needs a millisecond count"),
                 }
             }
             "--help" | "-h" => {
                 eprintln!("usage: faultlib [--full] [--budget-ms MS] [CELL_FILE]");
+                eprintln!("       faultlib serve [--queue N] [--retries N] [--leg-ms MS]");
+                eprintln!("                      [--leg-patterns N]");
                 eprintln!("  reads a cell description (paper syntax) from CELL_FILE or stdin");
                 eprintln!("  --full       include line opens and inverter faults");
                 eprintln!("  --budget-ms  wall-clock budget for the PROTEST statistics;");
                 eprintln!("               a partial result exits with code {EXIT_PARTIAL}");
                 eprintln!("               (DYNMOS_BUDGET_MS is the env fallback)");
+                eprintln!("  serve        JSON-lines job service on stdin/stdout");
+                status_line("completed");
                 return ExitCode::SUCCESS;
             }
             other => path = Some(other.to_owned()),
@@ -77,16 +122,12 @@ fn main() -> ExitCode {
     let text = match &path {
         Some(p) => match std::fs::read_to_string(p) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("faultlib: cannot read {p}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail("io", &format!("cannot read {p}: {e}")),
         },
         None => {
             let mut buf = String::new();
             if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-                eprintln!("faultlib: cannot read stdin: {e}");
-                return ExitCode::FAILURE;
+                return fail("io", &format!("cannot read stdin: {e}"));
             }
             buf
         }
@@ -100,10 +141,7 @@ fn main() -> ExitCode {
 
     let cell = match parse_cell(name, &text) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("faultlib: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail("parse", &e.to_string()),
     };
 
     let universe = if full {
@@ -138,6 +176,7 @@ fn main() -> ExitCode {
                 "faultlib: PROTEST statistics interrupted ({reason}); \
                  the fault library above is complete, detection statistics were skipped"
             );
+            status_line(&format!("interrupted reason={}", stop_token(reason)));
             return ExitCode::from(EXIT_PARTIAL);
         }
     };
@@ -168,12 +207,120 @@ fn main() -> ExitCode {
                 "faultlib: test-length search interrupted ({reason}); \
                  detection statistics above are complete"
             );
+            status_line(&format!("interrupted reason={}", stop_token(reason)));
             return ExitCode::from(EXIT_PARTIAL);
         }
-        Err(e) => {
-            eprintln!("faultlib: test-length: {e}");
-            return ExitCode::FAILURE;
+        Err(e) => return fail("length", &format!("test-length: {e}")),
+    }
+    status_line("completed");
+    ExitCode::SUCCESS
+}
+
+/// `faultlib serve` — a JSON-lines session against the job engine.
+///
+/// One request object per input line; one response object per line on
+/// stdout (a `run` additionally prints one record line per job it
+/// drains). Supported ops: `submit`, `run`, `stats`, `quit`. Malformed
+/// lines answer `{"ok":false,"error":...}` and the session continues.
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = EngineConfig::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match flag {
+            "--queue" | "--retries" | "--leg-ms" | "--leg-patterns" => {
+                let Some(raw) = value(i) else {
+                    return fail("args", &format!("{flag} needs a value"));
+                };
+                let Ok(n) = raw.parse::<u64>() else {
+                    return fail("args", &format!("{flag} needs an integer, got {raw:?}"));
+                };
+                match flag {
+                    "--queue" => config.queue_capacity = n as usize,
+                    "--retries" => config.max_retries = n as u32,
+                    "--leg-ms" => config.leg_ms = Some(n),
+                    "--leg-patterns" => config.leg_patterns = Some(n),
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => return fail("args", &format!("unknown serve flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let mut engine = JobEngine::new(config);
+    register_atpg(&mut engine);
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |line: &Json| {
+        // A broken pipe just ends the session; the status line still
+        // goes to stderr.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    };
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("faultlib: cannot read stdin: {e}");
+                status_line("failed reason=io");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                emit(&Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("error".into(), Json::str(format!("bad request: {e}"))),
+                ]));
+                continue;
+            }
+        };
+        match request.get("op").and_then(Json::as_str) {
+            Some("submit") => {
+                let verdict = engine.submit_json(&request);
+                emit(&verdict);
+            }
+            Some("run") => {
+                let records = engine.drain();
+                for record in &records {
+                    emit(&record.to_json());
+                }
+                emit(&Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("op".into(), Json::str("run")),
+                    ("completed".into(), Json::num(records.len() as u64)),
+                ]));
+            }
+            Some("stats") => emit(&engine.stats_json()),
+            Some("quit") => {
+                emit(&Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("op".into(), Json::str("quit")),
+                ]));
+                status_line("completed");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                let msg = match other {
+                    Some(op) => format!("unknown op {op:?} (submit|run|stats|quit)"),
+                    None => "missing \"op\"".to_owned(),
+                };
+                emit(&Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("error".into(), Json::str(msg)),
+                ]));
+            }
         }
     }
+    status_line("completed");
     ExitCode::SUCCESS
 }

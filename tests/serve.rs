@@ -1,0 +1,206 @@
+//! End-to-end tests of `faultlib serve`: submit → interrupt → resume →
+//! complete over the JSON-lines protocol, under a chaos plan injected
+//! through `DYNMOS_FAULT_PLAN`, plus load-shedding and status-line
+//! checks on the spawned binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs `faultlib serve` with the given extra args/env, feeds it
+/// `input`, and returns (stdout, stderr, success).
+fn serve(args: &[&str], env: &[(&str, &str)], input: &str) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_faultlib"));
+    cmd.arg("serve").args(args);
+    // A hermetic environment: the knobs under test are set explicitly.
+    cmd.env_remove("DYNMOS_FAULT_PLAN");
+    cmd.env_remove("DYNMOS_BUDGET_MS");
+    cmd.env("DYNMOS_THREADS", "2");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.stdin(Stdio::piped());
+    cmd.stdout(Stdio::piped());
+    cmd.stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn faultlib serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("collect output");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.success(),
+    )
+}
+
+/// A small two-input cell: three inputs keeps every kernel exact and
+/// fast.
+const CELL: &str = "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z; z := a*b + c;";
+
+fn submit_line(kind: &str, extra: &str) -> String {
+    format!(r#"{{"op":"submit","kind":"{kind}","format":"cell","netlist":"{CELL}"{extra}}}"#)
+}
+
+/// Extracts the `"result"` object (as raw text) from each job record
+/// line in a session transcript, keyed by record order.
+fn result_payloads(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.contains(r#""status":"#))
+        .map(|l| {
+            let at = l.find(r#""result":"#).expect("record carries a result");
+            l[at..].trim_end_matches('}').to_owned()
+        })
+        .collect()
+}
+
+/// The tentpole, end to end: the same session run clean and under a
+/// kill/expire chaos plan (injected via `DYNMOS_FAULT_PLAN`) must
+/// produce identical result payloads — interrupted jobs resume from
+/// checkpoints and complete bit-identical.
+#[test]
+fn chaos_session_results_match_clean_session() {
+    let session = format!(
+        "{}\n{}\n{}\n{}\n",
+        submit_line("fsim", r#","patterns":3000,"seed":7"#),
+        submit_line("mc-detect", r#","samples":3000,"seed":7"#),
+        submit_line("atpg", r#","max_backtracks":50"#),
+        r#"{"op":"run"}"#
+    );
+    let (clean, clean_err, ok) = serve(&["--leg-patterns", "512"], &[], &session);
+    assert!(ok, "clean session failed: {clean_err}");
+    let (chaos, chaos_err, ok) = serve(
+        &["--leg-patterns", "512", "--retries", "10"],
+        &[("DYNMOS_FAULT_PLAN", "kill:0.4,expire:0.3,seed:7")],
+        &session,
+    );
+    assert!(ok, "chaos session failed: {chaos_err}");
+    let clean_results = result_payloads(&clean);
+    let chaos_results = result_payloads(&chaos);
+    assert_eq!(clean_results.len(), 3, "three records expected: {clean}");
+    assert_eq!(
+        clean_results, chaos_results,
+        "chaos must not change any result payload"
+    );
+    for line in chaos.lines().filter(|l| l.contains(r#""status":"#)) {
+        assert!(
+            line.contains(r#""status":"completed""#),
+            "chaos job did not complete: {line}"
+        );
+    }
+    // The injection must actually have fired: at a 40% kill rate over
+    // many legs, at least one job in the chaos session retried.
+    assert!(
+        chaos
+            .lines()
+            .filter(|l| l.contains(r#""status":"#))
+            .any(|l| !l.contains(r#""retries":0"#)),
+        "chaos plan never fired: {chaos}"
+    );
+    assert!(
+        clean_err.contains("status=completed"),
+        "missing status line: {clean_err}"
+    );
+}
+
+/// A one-slot queue sheds the second submission with a structured
+/// rejection, and the session keeps serving afterwards.
+#[test]
+fn overfull_queue_sheds_and_recovers() {
+    let session = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        submit_line("fsim", r#","patterns":64"#),
+        submit_line("fsim", r#","patterns":64"#),
+        r#"{"op":"run"}"#,
+        submit_line("fsim", r#","patterns":64"#),
+        r#"{"op":"quit"}"#
+    );
+    let (stdout, stderr, ok) = serve(&["--queue", "1"], &[], &session);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[0].contains(r#""ok":true"#),
+        "first admit: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains(r#""shed":true"#) && lines[1].contains("queue full"),
+        "second submit must shed: {}",
+        lines[1]
+    );
+    assert!(
+        lines[1].contains(r#""capacity":1"#) && lines[1].contains(r#""pending":1"#),
+        "rejection must be structured: {}",
+        lines[1]
+    );
+    // After the drain, the queue has room again.
+    let resubmit = lines
+        .iter()
+        .find(|l| l.contains(r#""id":2"#))
+        .expect("post-drain submit admitted");
+    assert!(resubmit.contains(r#""ok":true"#));
+    assert!(stderr.contains("status=completed"), "{stderr}");
+}
+
+/// Protocol robustness: malformed lines and unknown ops get structured
+/// errors without ending the session.
+#[test]
+fn bad_lines_get_errors_and_session_survives() {
+    let session = format!(
+        "{}\n{}\n{}\n{}\n",
+        "this is not json", r#"{"op":"frobnicate"}"#, r#"{"op":"stats"}"#, r#"{"op":"quit"}"#
+    );
+    let (stdout, stderr, ok) = serve(&[], &[], &session);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].contains(r#""ok":false"#) && lines[0].contains("bad request"));
+    assert!(lines[1].contains("unknown op"));
+    assert!(lines[2].contains(r#""op":"stats""#) && lines[2].contains(r#""cache""#));
+    assert!(lines[3].contains(r#""op":"quit""#));
+    assert!(stderr.contains("status=completed"), "{stderr}");
+}
+
+/// The classic (non-serve) CLI prints a machine-readable status line on
+/// its success and failure paths.
+#[test]
+fn classic_cli_prints_status_lines() {
+    let run = |input: &str, args: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_faultlib"));
+        cmd.args(args);
+        cmd.env_remove("DYNMOS_FAULT_PLAN");
+        cmd.env_remove("DYNMOS_BUDGET_MS");
+        cmd.stdin(Stdio::piped());
+        cmd.stdout(Stdio::piped());
+        cmd.stderr(Stdio::piped());
+        let mut child = cmd.spawn().expect("spawn faultlib");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        (String::from_utf8(out.stderr).unwrap(), out.status)
+    };
+    let (stderr, status) = run(CELL, &[]);
+    assert!(status.success());
+    assert!(
+        stderr.lines().any(|l| l == "status=completed"),
+        "success path: {stderr}"
+    );
+    let (stderr, status) = run("INPUT ;;; garbage", &[]);
+    assert!(!status.success());
+    assert!(
+        stderr.lines().any(|l| l == "status=failed reason=parse"),
+        "parse-failure path: {stderr}"
+    );
+    let (stderr, status) = run("", &["--no-such-flag-as-a-file"]);
+    assert!(!status.success());
+    assert!(
+        stderr.lines().any(|l| l == "status=failed reason=io"),
+        "io-failure path: {stderr}"
+    );
+}
