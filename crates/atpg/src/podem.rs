@@ -15,7 +15,7 @@
 use crate::tri::{eval_tri, Tri};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator};
 use dynmos_protest::{
-    env_budget_ms, plan_shards, run_sharded, FaultEntry, Parallelism, RunBudget, RunStatus,
+    env_budget_ms, plan_shards, run_sharded, FaultEntry, Json, Parallelism, RunBudget, RunStatus,
     ShardPlan, StopReason,
 };
 
@@ -430,6 +430,95 @@ impl AtpgCheckpoint {
     /// How many fault-list entries the run has walked past.
     pub fn faults_done(&self) -> usize {
         self.next_fault
+    }
+
+    /// The checkpoint as a JSON object. Tests serialize as `'0'`/`'1'`
+    /// bit strings (the same encoding the service's `atpg` output
+    /// uses), coverage flags as booleans — everything round-trips
+    /// exactly through [`AtpgCheckpoint::from_json`], so a resumed
+    /// walk's report is unchanged.
+    pub fn to_json(&self) -> Json {
+        let bits = |t: &Vec<bool>| {
+            Json::str(
+                t.iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>(),
+            )
+        };
+        let labels = |ls: &[String]| Json::Arr(ls.iter().map(|l| Json::str(l.clone())).collect());
+        Json::Obj(vec![
+            ("kind".into(), Json::str("atpg")),
+            ("next_fault".into(), Json::num(self.next_fault as u64)),
+            (
+                "covered".into(),
+                Json::Arr(self.covered.iter().map(|&c| Json::Bool(c)).collect()),
+            ),
+            (
+                "tests".into(),
+                Json::Arr(self.tests.iter().map(bits).collect()),
+            ),
+            ("redundant".into(), labels(&self.redundant)),
+            ("aborted".into(), labels(&self.aborted)),
+        ])
+    }
+
+    /// Rebuilds a checkpoint from [`AtpgCheckpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing/mistyped fields, a wrong `kind`,
+    /// or a test string containing anything but `'0'`/`'1'`.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("atpg") {
+            return Err("not an atpg checkpoint".into());
+        }
+        let arr = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("atpg checkpoint: bad or missing {k:?}"))
+        };
+        let labels = |k: &str| -> Result<Vec<String>, String> {
+            arr(k)?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("atpg checkpoint: bad label {l} in {k:?}"))
+                })
+                .collect()
+        };
+        let tests = arr("tests")?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .ok_or_else(|| format!("atpg checkpoint: bad test {t}"))?
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(format!("atpg checkpoint: bad test bit {other:?}")),
+                    })
+                    .collect()
+            })
+            .collect::<Result<Vec<Vec<bool>>, _>>()?;
+        let covered = arr("covered")?
+            .iter()
+            .map(|c| {
+                c.as_bool()
+                    .ok_or_else(|| format!("atpg checkpoint: bad coverage flag {c}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            next_fault: v
+                .get("next_fault")
+                .and_then(Json::as_u64)
+                .ok_or("atpg checkpoint: bad or missing \"next_fault\"")?
+                as usize,
+            covered,
+            tests,
+            redundant: labels("redundant")?,
+            aborted: labels("aborted")?,
+        })
     }
 }
 

@@ -112,6 +112,30 @@ impl JobKernel for AtpgJob {
         members.push(("complete".into(), Json::Bool(self.complete)));
         Json::Obj(members)
     }
+
+    fn snapshot(&self) -> Json {
+        Json::Obj(vec![
+            ("started".into(), Json::Bool(self.started)),
+            (
+                "checkpoint".into(),
+                self.state
+                    .as_ref()
+                    .map_or(Json::Null, AtpgCheckpoint::to_json),
+            ),
+        ])
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        self.started = snapshot
+            .get("started")
+            .and_then(Json::as_bool)
+            .ok_or("atpg snapshot: bad or missing \"started\"")?;
+        self.state = match snapshot.get("checkpoint") {
+            None | Some(Json::Null) => None,
+            Some(cp) => Some(AtpgCheckpoint::from_json(cp)?),
+        };
+        Ok(())
+    }
 }
 
 /// Registers the `atpg` job kind on an engine. The engine crate cannot

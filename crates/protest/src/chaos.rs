@@ -22,7 +22,12 @@
 //!   checkpoint), expire its deadline artificially, or delay it;
 //! - **cache inserts** ([`FaultPlan::poison_cache`]): corrupt the
 //!   compiled-network fingerprint so validation-on-hit must catch and
-//!   evict the entry.
+//!   evict the entry;
+//! - **journal appends** ([`FaultPlan::crash_fault`], probed by
+//!   [`crate::service::Journal`] around each write-ahead record):
+//!   abort the whole process — before the write, mid-write (leaving a
+//!   torn final line the recovery path must tolerate), or after it —
+//!   the `kill -9` simulation that proves crash-durable recovery.
 //!
 //! Plans come from three places, in precedence order: a thread-local
 //! scope ([`scoped`], what deterministic tests use), the
@@ -52,6 +57,23 @@ pub enum WorkerFault {
     /// Panic on the threaded attempt *and* the serial retry: surfaces
     /// [`crate::ShardError`] through [`crate::try_run_sharded`].
     PanicPersistent,
+}
+
+/// Where, relative to one journal append, an injected process crash
+/// fires. All three abort the process without unwinding (the moral
+/// equivalent of `kill -9`), differing only in what the write-ahead
+/// journal has durably committed when the process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort before any byte of the record is written: the record is
+    /// lost whole, the journal stays well-formed.
+    BeforeWrite,
+    /// Abort after writing (and syncing) a strict prefix of the record
+    /// line: recovery must tolerate the torn final line.
+    TornWrite,
+    /// Abort after the record is fully written and synced: the record
+    /// survives, everything in memory dies.
+    AfterWrite,
 }
 
 /// What a service-leg site was told to do.
@@ -84,6 +106,7 @@ pub struct FaultPlan {
     leg_delay: f64,
     delay: Duration,
     cache_poison: f64,
+    crash: f64,
     /// Deterministic leg-kill schedule: kill exactly these leg indices
     /// of every job (builder-only, for differential tests).
     kill_legs: Vec<u32>,
@@ -103,6 +126,7 @@ impl FaultPlan {
             leg_delay: 0.0,
             delay: Duration::from_millis(1),
             cache_poison: 0.0,
+            crash: 0.0,
             kill_legs: Vec::new(),
             probes: AtomicU64::new(0),
         }
@@ -146,6 +170,15 @@ impl FaultPlan {
         self
     }
 
+    /// Process crashes (`process::abort()`, no unwinding) at journal
+    /// append sites at this rate. The firing draw also picks the
+    /// [`CrashPoint`] — before, mid (torn line), or after the write —
+    /// with equal weight.
+    pub fn crash(mut self, rate: f64) -> Self {
+        self.crash = rate;
+        self
+    }
+
     /// Kill exactly these leg indices of every job (deterministic,
     /// thread-count independent — the schedule differential tests use).
     pub fn kill_at(mut self, legs: &[u32]) -> Self {
@@ -167,6 +200,7 @@ impl FaultPlan {
             && self.leg_expire <= 0.0
             && self.leg_delay <= 0.0
             && self.cache_poison <= 0.0
+            && self.crash <= 0.0
             && self.kill_legs.is_empty()
     }
 
@@ -222,10 +256,31 @@ impl FaultPlan {
             .is_some_and(|u| u < self.cache_poison)
     }
 
+    /// Decision for one journal append. `site` is the append's identity
+    /// — the journal mixes its recovery generation into it, so a
+    /// restarted process replays a *different* crash schedule and a
+    /// crash-at-every-append plan cannot livelock recovery. A firing
+    /// draw is subdivided into thirds to pick the [`CrashPoint`].
+    pub fn crash_fault(&self, site: u64) -> Option<CrashPoint> {
+        let u = self.roll(0x0043_5241_5348_u64, site)?;
+        if u >= self.crash {
+            return None;
+        }
+        let third = self.crash / 3.0;
+        Some(if u < third {
+            CrashPoint::BeforeWrite
+        } else if u < 2.0 * third {
+            CrashPoint::TornWrite
+        } else {
+            CrashPoint::AfterWrite
+        })
+    }
+
     /// Parses a `DYNMOS_FAULT_PLAN` spec: comma-separated `key:value`
     /// pairs, e.g. `panic:0.05,expire:0.05,seed:7`. Keys: `panic`,
-    /// `panic2` (persistent), `kill`, `expire`, `delay`, `poison`
-    /// (rates in `[0, 1]`); `delay_ms`, `seed`, `after` (integers).
+    /// `panic2` (persistent), `kill`, `expire`, `delay`, `poison`,
+    /// `crash` (rates in `[0, 1]`); `delay_ms`, `seed`, `after`
+    /// (integers).
     ///
     /// # Errors
     ///
@@ -262,6 +317,7 @@ impl FaultPlan {
                 "expire" => plan.leg_expire = rate()?,
                 "delay" => plan.leg_delay = rate()?,
                 "poison" => plan.cache_poison = rate()?,
+                "crash" => plan.crash = rate()?,
                 "delay_ms" => plan.delay = Duration::from_millis(int()?),
                 "seed" => plan.seed = int()?,
                 "after" => plan.after = int()?,
@@ -396,10 +452,45 @@ mod tests {
     }
 
     #[test]
+    fn crash_decisions_cover_all_points_and_honor_rate() {
+        let p = FaultPlan::new(6).crash(1.0);
+        let mut seen = [false; 3];
+        for site in 0..200 {
+            match p.crash_fault(site) {
+                Some(CrashPoint::BeforeWrite) => seen[0] = true,
+                Some(CrashPoint::TornWrite) => seen[1] = true,
+                Some(CrashPoint::AfterWrite) => seen[2] = true,
+                None => panic!("rate 1.0 must always fire"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all crash points drawn: {seen:?}");
+        let p = FaultPlan::new(7).crash(0.3);
+        let fired = (0..10_000).filter(|&s| p.crash_fault(s).is_some()).count();
+        assert!((2_500..3_500).contains(&fired), "{fired} of 10000");
+        assert!(FaultPlan::new(8).crash(0.0).crash_fault(0).is_none());
+        assert!(!FaultPlan::new(9).crash(0.1).is_inert());
+    }
+
+    #[test]
+    fn crash_schedule_varies_with_site_generation() {
+        // Mixing a different generation into the site id must change
+        // the schedule: recovery depends on this to escape a crash that
+        // fires at the first append of a restarted process.
+        let schedule = |generation: u64| -> Vec<bool> {
+            let p = FaultPlan::new(10).crash(0.5);
+            (0..64)
+                .map(|i| p.crash_fault(generation << 32 | i).is_some())
+                .collect()
+        };
+        assert_ne!(schedule(1), schedule(2));
+    }
+
+    #[test]
     fn spec_parses() {
-        let p = FaultPlan::parse("panic:0.05, expire:0.1, seed:42, after:3").unwrap();
+        let p = FaultPlan::parse("panic:0.05, expire:0.1, crash:0.03, seed:42, after:3").unwrap();
         assert_eq!(p.worker_panic, 0.05);
         assert_eq!(p.leg_expire, 0.1);
+        assert_eq!(p.crash, 0.03);
         assert_eq!(p.seed, 42);
         assert_eq!(p.after, 3);
         assert!(FaultPlan::parse("").unwrap().is_inert());

@@ -32,6 +32,7 @@ use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, try_run_sharded, Parallelism, ShardError, ShardPlan};
 use crate::random::PatternSource;
+use crate::service::json::Json;
 use dynmos_netlist::{Network, PackedEvaluator};
 use std::time::Duration;
 
@@ -134,6 +135,64 @@ pub struct FsimCheckpoint {
 }
 
 impl FsimCheckpoint {
+    /// The checkpoint as a JSON object — every field is exact (counts
+    /// stay within `2^53`, where JSON numbers are integers), so
+    /// [`FsimCheckpoint::from_json`] round-trips bit-identically and a
+    /// resume from the deserialized checkpoint equals a resume from the
+    /// original.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str("fsim")),
+            ("start".into(), Json::num(self.start)),
+            ("batches_done".into(), Json::num(self.batches_done)),
+            ("max_patterns".into(), Json::num(self.max_patterns)),
+            (
+                "detected_at".into(),
+                Json::Arr(
+                    self.detected_at
+                        .iter()
+                        .map(|d| d.map_or(Json::Null, Json::num))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a checkpoint from [`FsimCheckpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing/mistyped fields or a wrong `kind`.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("fsim") {
+            return Err("not an fsim checkpoint".into());
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("fsim checkpoint: bad or missing {k:?}"))
+        };
+        let detected_at = v
+            .get("detected_at")
+            .and_then(Json::as_arr)
+            .ok_or("fsim checkpoint: bad or missing \"detected_at\"")?
+            .iter()
+            .map(|d| match d {
+                Json::Null => Ok(None),
+                other => other
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("fsim checkpoint: bad detection index {other}")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            start: field("start")?,
+            batches_done: field("batches_done")?,
+            max_patterns: field("max_patterns")?,
+            detected_at,
+        })
+    }
+
     /// Patterns fully simulated so far.
     pub fn patterns_done(&self) -> u64 {
         (self.batches_done * 64).min(self.max_patterns)

@@ -54,7 +54,7 @@ pub mod service;
 pub mod symbolic;
 
 pub use budget::{env_budget_ms, RunBudget, RunStatus, StopReason, DEFAULT_EXACT_ROWS};
-pub use chaos::{env_fault_plan, FaultPlan, LegFault, WorkerFault};
+pub use chaos::{env_fault_plan, CrashPoint, FaultPlan, LegFault, WorkerFault};
 pub use detect::{
     detection_probabilities, detection_probability_estimates, exact_detection_probability,
     DetectionEstimate, EstimateMethod, ExactDetector,

@@ -23,6 +23,7 @@ use crate::budget::{self, RunBudget, RunStatus, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, try_run_sharded, Parallelism, ShardError, ShardPlan};
 use crate::random::PatternSource;
+use crate::service::json::Json;
 use dynmos_netlist::{NetId, Network, NetworkFault, PackedEvaluator};
 use std::ops::Range;
 use std::time::Duration;
@@ -76,6 +77,52 @@ pub struct McCheckpoint {
 }
 
 impl McCheckpoint {
+    /// The checkpoint as a JSON object — integer pass and hit counts
+    /// serialize exactly, so [`McCheckpoint::from_json`] round-trips
+    /// bit-identically and resumed estimates are unchanged.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str("mc")),
+            ("passes_done".into(), Json::num(self.passes_done as u64)),
+            ("samples".into(), Json::num(self.samples)),
+            (
+                "hits".into(),
+                Json::Arr(self.hits.iter().map(|&h| Json::num(h)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a checkpoint from [`McCheckpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing/mistyped fields or a wrong `kind`.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("mc") {
+            return Err("not a Monte Carlo checkpoint".into());
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("mc checkpoint: bad or missing {k:?}"))
+        };
+        let hits = v
+            .get("hits")
+            .and_then(Json::as_arr)
+            .ok_or("mc checkpoint: bad or missing \"hits\"")?
+            .iter()
+            .map(|h| {
+                h.as_u64()
+                    .ok_or_else(|| format!("mc checkpoint: bad hit count {h}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            passes_done: field("passes_done")? as usize,
+            samples: field("samples")?,
+            hits,
+        })
+    }
+
     /// Samples fully drawn so far.
     pub fn samples_done(&self) -> u64 {
         ((self.passes_done as u64) * (WIDTH as u64) * 64).min(self.samples)

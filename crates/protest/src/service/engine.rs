@@ -15,11 +15,18 @@ use crate::list::{network_fault_list, stuck_fault_list};
 use crate::parallel::{panic_message, Parallelism};
 use crate::service::cache::{NetlistFormat, NetworkCache};
 use crate::service::jobs::{build_builtin, JobContext, JobKernel};
+use crate::service::journal::Journal;
 use crate::service::json::Json;
 use std::collections::VecDeque;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Everything needed to enqueue a job built from a request: its kind
+/// name, the optional per-job deadline, and the kernel itself.
+type BuiltJob = (String, Option<Duration>, Box<dyn JobKernel>);
 
 /// Exponential backoff with deterministic jitter: retry `k` sleeps
 /// `base·2^(k-1)` ms (capped at `cap_ms`), scaled by a jitter factor in
@@ -175,6 +182,13 @@ pub struct Job {
     pub timeout: Option<Duration>,
     /// The kernel carrying all job state between legs.
     pub kernel: Box<dyn JobKernel>,
+    /// Legs already run before this admission — nonzero only for jobs
+    /// recovered from a [`Journal`], so the terminal record's counters
+    /// span the whole job, not just the final process.
+    pub legs: u32,
+    /// Retries already consumed before this admission (journal
+    /// recovery only).
+    pub retries: u32,
 }
 
 /// The supervisor's account of one finished job.
@@ -229,6 +243,8 @@ pub struct JobEngine {
     next_id: u64,
     shed: u64,
     kinds: Vec<(String, KernelFactory)>,
+    journal: Option<Journal>,
+    results: Vec<(u64, Json)>,
 }
 
 impl JobEngine {
@@ -242,7 +258,84 @@ impl JobEngine {
             next_id: 0,
             shed: 0,
             kinds: Vec::new(),
+            journal: None,
+            results: Vec::new(),
         }
+    }
+
+    /// Attaches a write-ahead [`Journal`] in `dir`, replaying any
+    /// existing records: finished jobs reload into the
+    /// [`results_json`](Self::results_json) set, interrupted jobs are
+    /// rebuilt from their journaled request, restored from their last
+    /// committed kernel snapshot, and requeued under their original
+    /// ids. Returns a summary object
+    /// (`{"ok":true,"op":"journal","generation":g,"resumed":n,
+    /// "finished":n,"torn":bool}`).
+    ///
+    /// Call this **after** [`register_kind`](Self::register_kind) —
+    /// recovery rebuilds kernels through the same factories as live
+    /// submission.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt journal (see [`Journal::open`]), or a
+    /// journaled job that no longer rebuilds or restores — all fatal:
+    /// silently dropping durable jobs would be worse than refusing to
+    /// start.
+    pub fn attach_journal(&mut self, dir: &Path) -> io::Result<Json> {
+        let (journal, recovery) = Journal::open(dir, self.config.fault_plan.clone())?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        self.next_id = self.next_id.max(recovery.max_id);
+        for job in &recovery.jobs {
+            let (kind, timeout, mut kernel) = self
+                .build_job(&job.request)
+                .map_err(|e| bad(format!("journal: job {} does not rebuild: {e}", job.id)))?;
+            if let Some(snapshot) = &job.snapshot {
+                kernel.restore(snapshot).map_err(|e| {
+                    bad(format!(
+                        "journal: job {} snapshot does not restore: {e}",
+                        job.id
+                    ))
+                })?;
+            }
+            self.queue.push_back(Job {
+                id: job.id,
+                kind,
+                timeout,
+                kernel,
+                legs: job.legs,
+                retries: job.retries,
+            });
+        }
+        self.results.extend(recovery.terminal.iter().cloned());
+        let summary = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("op".into(), Json::str("journal")),
+            ("generation".into(), Json::num(recovery.generation)),
+            ("resumed".into(), Json::num(recovery.jobs.len() as u64)),
+            ("finished".into(), Json::num(recovery.terminal.len() as u64)),
+            ("torn".into(), Json::Bool(recovery.torn_tail)),
+        ]);
+        self.journal = Some(journal);
+        Ok(summary)
+    }
+
+    /// Every terminal record this engine has produced (or recovered
+    /// from its journal), as `{"ok":true,"op":"results","records":
+    /// [...]}` with records in job-id order — the deterministic order
+    /// that makes a recovered session byte-comparable to an
+    /// uninterrupted one.
+    pub fn results_json(&self) -> Json {
+        let mut records = self.results.clone();
+        records.sort_by_key(|(id, _)| *id);
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("op".into(), Json::str("results")),
+            (
+                "records".into(),
+                Json::Arr(records.into_iter().map(|(_, r)| r).collect()),
+            ),
+        ])
     }
 
     /// Registers an external kernel factory for `kind`. Registered
@@ -295,10 +388,9 @@ impl JobEngine {
     /// `{"ok":false,"shed":true,...}` when the queue is full, or
     /// `{"ok":false,"error":...}` for malformed requests.
     pub fn submit_json(&mut self, request: &Json) -> Json {
-        let Some(kind) = request.get("kind").and_then(Json::as_str) else {
+        if request.get("kind").and_then(Json::as_str).is_none() {
             return self.reject("missing \"kind\"");
-        };
-        let kind = kind.to_owned();
+        }
         // Shed before compiling anything: an overloaded service must
         // refuse cheaply.
         if self.queue.len() >= self.config.queue_capacity {
@@ -314,25 +406,59 @@ impl JobEngine {
                 ("pending".into(), Json::num(self.queue.len() as u64)),
             ]);
         }
-        let Some(source) = request.get("netlist").and_then(Json::as_str) else {
-            return self.reject("missing \"netlist\"");
+        let (kind, timeout, kernel) = match self.build_job(request) {
+            Ok(built) => built,
+            Err(e) => return self.reject(&e),
         };
+        self.next_id += 1;
+        let id = self.next_id;
+        // Write-ahead: journal the admission before acking it, so an
+        // acked job is always durable. A journal that cannot commit
+        // refuses the submission rather than admitting volatile work.
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.record_admit(id, request) {
+                self.next_id -= 1;
+                return self.reject(&format!("journal write failed: {e}"));
+            }
+        }
+        self.queue.push_back(Job {
+            id,
+            kind,
+            timeout,
+            kernel,
+            legs: 0,
+            retries: 0,
+        });
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("id".into(), Json::num(id)),
+            ("pending".into(), Json::num(self.queue.len() as u64)),
+        ])
+    }
+
+    /// Builds the kernel (plus kind/timeout) for a request object —
+    /// shared by live admission ([`submit_json`](Self::submit_json))
+    /// and journal recovery, so a recovered job recompiles through the
+    /// exact same cache path as its original submission.
+    fn build_job(&mut self, request: &Json) -> Result<BuiltJob, String> {
+        let kind = request
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\"")?
+            .to_owned();
+        let source = request
+            .get("netlist")
+            .and_then(Json::as_str)
+            .ok_or("missing \"netlist\"")?
+            .to_owned();
         let format = match request.get("format").and_then(Json::as_str) {
             None => NetlistFormat::Bench,
-            Some(s) => match NetlistFormat::parse(s) {
-                Ok(f) => f,
-                Err(e) => return self.reject(&e),
-            },
+            Some(s) => NetlistFormat::parse(s)?,
         };
-        let source = source.to_owned();
-        let net =
-            match self
-                .cache
-                .get_or_compile(format, &source, self.config.fault_plan.as_deref())
-            {
-                Ok(net) => net,
-                Err(e) => return self.reject(&format!("netlist does not compile: {e}")),
-            };
+        let net = self
+            .cache
+            .get_or_compile(format, &source, self.config.fault_plan.as_deref())
+            .map_err(|e| format!("netlist does not compile: {e}"))?;
         let mut faults = match format {
             NetlistFormat::Bench => stuck_fault_list(&net),
             NetlistFormat::Cell => network_fault_list(&net),
@@ -352,26 +478,14 @@ impl JobEngine {
         };
         let kernel = match built {
             Some(Ok(k)) => k,
-            Some(Err(e)) => return self.reject(&format!("bad {kind} request: {e}")),
-            None => return self.reject(&format!("unknown job kind {kind:?}")),
+            Some(Err(e)) => return Err(format!("bad {kind} request: {e}")),
+            None => return Err(format!("unknown job kind {kind:?}")),
         };
         let timeout = request
             .get("timeout_ms")
             .and_then(Json::as_u64)
             .map(Duration::from_millis);
-        self.next_id += 1;
-        let id = self.next_id;
-        self.queue.push_back(Job {
-            id,
-            kind,
-            timeout,
-            kernel,
-        });
-        Json::Obj(vec![
-            ("ok".into(), Json::Bool(true)),
-            ("id".into(), Json::num(id)),
-            ("pending".into(), Json::num(self.queue.len() as u64)),
-        ])
+        Ok((kind, timeout, kernel))
     }
 
     /// Runs the oldest pending job to a terminal state and returns its
@@ -388,8 +502,10 @@ impl JobEngine {
         let started = Instant::now();
         let job_deadline = job.timeout.map(|t| started + t);
         let plan = self.config.fault_plan.clone();
-        let mut legs: u32 = 0;
-        let mut retries: u32 = 0;
+        // Journal-recovered jobs resume their counters, so the terminal
+        // record accounts for the whole job across process lifetimes.
+        let mut legs: u32 = job.legs;
+        let mut retries: u32 = job.retries;
         let mut consecutive: u32 = 0;
         let mut stop: Option<StopReason> = None;
         let mut error: Option<String> = None;
@@ -448,9 +564,8 @@ impl JobEngine {
                     if consecutive > self.config.max_retries {
                         break JobStatus::Failed;
                     }
-                    let delay = self.config.backoff.delay(job.id, consecutive);
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
+                    if self.backoff_or_deadline(job.id, consecutive, job_deadline) {
+                        break JobStatus::DeadlineExceeded;
                     }
                 }
                 Ok(RunStatus::Interrupted(StopReason::WorkerFailed)) => {
@@ -464,24 +579,34 @@ impl JobEngine {
                     if consecutive > self.config.max_retries {
                         break JobStatus::Failed;
                     }
-                    let delay = self.config.backoff.delay(job.id, consecutive);
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
+                    if self.backoff_or_deadline(job.id, consecutive, job_deadline) {
+                        break JobStatus::DeadlineExceeded;
                     }
                 }
                 Ok(RunStatus::Completed) => break JobStatus::Completed,
                 Ok(RunStatus::Interrupted(reason)) => {
-                    // A clean checkpoint boundary: not a failure.
+                    // A clean checkpoint boundary: not a failure. The
+                    // kernel just committed its checkpoint, so this is
+                    // also the one durable point — journal the snapshot
+                    // before running further legs.
                     stop = Some(reason);
                     consecutive = 0;
                     error = None;
+                    if let Some(journal) = &mut self.journal {
+                        if let Err(e) =
+                            journal.record_leg(job.id, legs, retries, job.kernel.snapshot())
+                        {
+                            error = Some(format!("journal write failed: {e}"));
+                            break JobStatus::Failed;
+                        }
+                    }
                     if job_deadline.is_some_and(|d| Instant::now() >= d) {
                         break JobStatus::DeadlineExceeded;
                     }
                 }
             }
         };
-        Some(JobRecord {
+        let mut record = JobRecord {
             id: job.id,
             kind: job.kind,
             status,
@@ -491,7 +616,44 @@ impl JobEngine {
             error,
             result: job.kernel.output(),
             elapsed: started.elapsed(),
-        })
+        };
+        // Write-ahead: the terminal record is durable before the client
+        // sees it, and is what a restarted session replays verbatim.
+        let payload = record.to_json();
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.record_done(record.id, &payload) {
+                record
+                    .error
+                    .get_or_insert(format!("journal write failed: {e}"));
+            }
+        }
+        self.results.push((record.id, payload));
+        Some(record)
+    }
+
+    /// Sleeps the retry backoff for `retry`, clamped to the job's
+    /// remaining deadline. Returns `true` when the deadline was reached
+    /// — the overshoot becomes a clean [`JobStatus::DeadlineExceeded`]
+    /// instead of a full backoff sleep followed by a doomed extra leg.
+    fn backoff_or_deadline(&self, job: u64, retry: u32, deadline: Option<Instant>) -> bool {
+        let delay = self.config.backoff.delay(job, retry);
+        let Some(deadline) = deadline else {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            return false;
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if delay < remaining {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            return false;
+        }
+        if !remaining.is_zero() {
+            std::thread::sleep(remaining);
+        }
+        true
     }
 
     /// Runs every pending job to a terminal state.

@@ -71,6 +71,59 @@ pub trait JobKernel: Send {
     fn last_error(&self) -> Option<String> {
         None
     }
+
+    /// The kernel's serializable resume state — everything committed at
+    /// the last returned leg, as JSON the write-ahead journal can
+    /// persist. The default (`Json::Null`) is correct for kernels with
+    /// no cross-leg state: restoring them restarts the (deterministic)
+    /// computation from scratch.
+    ///
+    /// Snapshots carry *resume* state only, never terminal output; a
+    /// completed job is journaled via its terminal record instead.
+    fn snapshot(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores a kernel freshly built from its original request to a
+    /// prior [`JobKernel::snapshot`]. Resuming from the restored state
+    /// completes bit-identical to the uninterrupted run (the service
+    /// determinism contract, now across process boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot does not round-trip (wrong
+    /// kind, mistyped fields) — the journal is then treated as corrupt.
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        match snapshot {
+            Json::Null => Ok(()),
+            other => Err(format!(
+                "{} kernel carries no resumable state, got snapshot {other}",
+                self.kind()
+            )),
+        }
+    }
+}
+
+/// Shared shape of the checkpointed kernels' snapshots: the `started`
+/// flag plus an optional checkpoint object.
+fn snapshot_with_checkpoint(started: bool, checkpoint: Option<Json>) -> Json {
+    Json::Obj(vec![
+        ("started".into(), Json::Bool(started)),
+        ("checkpoint".into(), checkpoint.unwrap_or(Json::Null)),
+    ])
+}
+
+/// Reads back [`snapshot_with_checkpoint`]: `(started, checkpoint)`.
+fn parse_snapshot<'a>(kind: &str, snapshot: &'a Json) -> Result<(bool, Option<&'a Json>), String> {
+    let started = snapshot
+        .get("started")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{kind} snapshot: bad or missing \"started\""))?;
+    let checkpoint = match snapshot.get("checkpoint") {
+        None | Some(Json::Null) => None,
+        Some(cp) => Some(cp),
+    };
+    Ok((started, checkpoint))
 }
 
 /// Reads an unsigned-integer parameter with a default.
@@ -219,6 +272,20 @@ impl JobKernel for FsimJob {
     fn last_error(&self) -> Option<String> {
         self.error.clone()
     }
+
+    fn snapshot(&self) -> Json {
+        snapshot_with_checkpoint(
+            self.started,
+            self.state.as_ref().map(FsimCheckpoint::to_json),
+        )
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        let (started, checkpoint) = parse_snapshot("fsim", snapshot)?;
+        self.started = started;
+        self.state = checkpoint.map(FsimCheckpoint::from_json).transpose()?;
+        Ok(())
+    }
 }
 
 /// Monte Carlo detection-probability estimation with a resumable
@@ -308,6 +375,17 @@ impl JobKernel for McDetectJob {
 
     fn last_error(&self) -> Option<String> {
         self.error.clone()
+    }
+
+    fn snapshot(&self) -> Json {
+        snapshot_with_checkpoint(self.started, self.state.as_ref().map(McCheckpoint::to_json))
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        let (started, checkpoint) = parse_snapshot("mc-detect", snapshot)?;
+        self.started = started;
+        self.state = checkpoint.map(McCheckpoint::from_json).transpose()?;
+        Ok(())
     }
 }
 
@@ -415,12 +493,24 @@ impl JobKernel for McSignalJob {
     fn last_error(&self) -> Option<String> {
         self.error.clone()
     }
+
+    fn snapshot(&self) -> Json {
+        snapshot_with_checkpoint(self.started, self.state.as_ref().map(McCheckpoint::to_json))
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        let (started, checkpoint) = parse_snapshot("mc-signal", snapshot)?;
+        self.started = started;
+        self.state = checkpoint.map(McCheckpoint::from_json).transpose()?;
+        Ok(())
+    }
 }
 
 /// The exact-with-Monte-Carlo-degradation detection estimator
 /// ([`detection_probability_estimates`]). No checkpoint exists for this
-/// kernel, so an interrupted leg restarts from scratch — completion is
-/// still deterministic because the estimator is a pure function of
+/// kernel, so an interrupted leg (or a process crash — its journal
+/// snapshot is the default `null`) restarts from scratch — completion
+/// is still deterministic because the estimator is a pure function of
 /// `(net, faults, probs, seed)`.
 pub struct DetectEstimatesJob {
     net: Arc<Network>,
@@ -623,12 +713,45 @@ impl JobKernel for TestLengthJob {
         ));
         Json::Obj(members)
     }
+
+    fn snapshot(&self) -> Json {
+        // The phase-1 cache is the job's only cross-leg state. f64
+        // values round-trip exactly: the JSON emitter uses shortest-
+        // roundtrip formatting, so the phase-2 search sees bit-equal
+        // inputs after a crash.
+        Json::Obj(vec![(
+            "values".into(),
+            match &self.values {
+                Some(vs) => Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
+                None => Json::Null,
+            },
+        )])
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        self.values = match snapshot.get("values") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => Some(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| format!("length snapshot: bad value {v}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(other) => return Err(format!("length snapshot: bad values {other}")),
+        };
+        Ok(())
+    }
 }
 
 /// Input-probability optimization ([`optimize_input_probabilities_budgeted`]).
 /// The optimizer keeps best-so-far state internally per call but has no
-/// cross-call checkpoint, so an interrupted leg restarts the descent;
-/// the job reports the best report seen across legs' completions.
+/// cross-call checkpoint, so an interrupted leg (or a crash-recovered
+/// job — the journal snapshot is the default `null`) restarts the
+/// descent; the job reports the best report seen across legs'
+/// completions.
 pub struct OptimizeJob {
     net: Arc<Network>,
     faults: Vec<FaultEntry>,

@@ -24,7 +24,14 @@
 //!   structured [`Rejection`];
 //! - **compiled-network cache** ([`NetworkCache`]) keyed by netlist
 //!   hash, with recompile-and-compare validation on a sampled fraction
-//!   of hits and eviction on mismatch.
+//!   of hits and eviction on mismatch;
+//! - **crash durability** (opt-in via [`JobEngine::attach_journal`],
+//!   `faultlib serve --journal DIR`): a write-ahead [`Journal`] commits
+//!   every admission, checkpointed leg, and terminal record before the
+//!   client sees it, so a process killed at any instant — `kill -9`
+//!   included — restarts against the same directory, requeues
+//!   interrupted jobs from their last committed kernel snapshot, and
+//!   reproduces result payloads byte-for-byte.
 //!
 //! The deterministic fault-injection harness lives in
 //! [`crate::chaos`]: a seeded [`crate::FaultPlan`] (or the
@@ -40,9 +47,11 @@
 pub mod cache;
 pub mod engine;
 pub mod jobs;
+pub mod journal;
 pub mod json;
 
 pub use cache::{network_fingerprint, CacheStats, NetlistFormat, NetworkCache};
 pub use engine::{BackoffPolicy, EngineConfig, Job, JobEngine, JobRecord, JobStatus, Rejection};
 pub use jobs::{build_builtin, JobContext, JobKernel};
+pub use journal::{Journal, RecoveredJob, Recovery, JOURNAL_FILE};
 pub use json::{Json, JsonError};

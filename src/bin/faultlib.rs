@@ -41,9 +41,12 @@ use dynmos::netlist::generate::single_cell_network;
 use dynmos::netlist::parse_cell;
 use dynmos::protest::{
     detection_probability_estimates, env_budget_ms, network_fault_list, try_test_length,
-    EngineConfig, EstimateMethod, JobEngine, Json, LengthError, Parallelism, RunBudget, StopReason,
+    EngineConfig, EstimateMethod, FaultPlan, JobEngine, Json, LengthError, Parallelism, RunBudget,
+    StopReason,
 };
 use std::io::{BufRead, Read, Write};
+use std::panic::catch_unwind;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// Exit code for a run whose PROTEST statistics were cut short by the
@@ -77,6 +80,30 @@ fn fail(reason: &str, msg: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Pre-validate the fault-injection knob before any code path can
+    // trip over it: a typo exits cleanly with a named reason instead
+    // of a panic backtrace from deep inside the first probe.
+    if let Ok(spec) = std::env::var("DYNMOS_FAULT_PLAN") {
+        if !spec.trim().is_empty() {
+            if let Err(e) = FaultPlan::parse(&spec) {
+                return fail("fault-plan", &format!("DYNMOS_FAULT_PLAN invalid: {e}"));
+            }
+        }
+    }
+    // The engine catches and retries leg panics itself; anything that
+    // unwinds out to here is unhandled, and must still produce the
+    // machine-readable status line (the default hook has already
+    // printed the panic message).
+    match catch_unwind(real_main) {
+        Ok(code) => code,
+        Err(_) => {
+            status_line("failed reason=panic");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return serve(&args[1..]);
@@ -103,13 +130,18 @@ fn classic(args: &[String]) -> ExitCode {
             "--help" | "-h" => {
                 eprintln!("usage: faultlib [--full] [--budget-ms MS] [CELL_FILE]");
                 eprintln!("       faultlib serve [--queue N] [--retries N] [--leg-ms MS]");
-                eprintln!("                      [--leg-patterns N]");
+                eprintln!("                      [--leg-patterns N] [--journal DIR]");
                 eprintln!("  reads a cell description (paper syntax) from CELL_FILE or stdin");
                 eprintln!("  --full       include line opens and inverter faults");
                 eprintln!("  --budget-ms  wall-clock budget for the PROTEST statistics;");
                 eprintln!("               a partial result exits with code {EXIT_PARTIAL}");
                 eprintln!("               (DYNMOS_BUDGET_MS is the env fallback)");
                 eprintln!("  serve        JSON-lines job service on stdin/stdout");
+                eprintln!("  --journal    write-ahead journal directory: every admission,");
+                eprintln!("               checkpointed leg, and result is committed before");
+                eprintln!("               the client sees it, and a restarted serve against");
+                eprintln!("               the same DIR resumes interrupted jobs and replays");
+                eprintln!("               finished ones (op \"results\") byte-identically");
                 status_line("completed");
                 return ExitCode::SUCCESS;
             }
@@ -220,10 +252,20 @@ fn classic(args: &[String]) -> ExitCode {
 ///
 /// One request object per input line; one response object per line on
 /// stdout (a `run` additionally prints one record line per job it
-/// drains). Supported ops: `submit`, `run`, `stats`, `quit`. Malformed
-/// lines answer `{"ok":false,"error":...}` and the session continues.
+/// drains). Supported ops: `submit`, `run`, `results`, `stats`,
+/// `quit`. Malformed lines answer `{"ok":false,"error":...}` and the
+/// session continues.
+///
+/// With `--journal DIR` the engine write-ahead-journals every
+/// admission, checkpointed leg, and terminal record to
+/// `DIR/journal.jsonl` before acknowledging it, and replays the
+/// journal at startup: a serve killed at any instant (`kill -9`
+/// included) restarts against the same directory with its finished
+/// records intact (`results` returns them byte-identically) and its
+/// interrupted jobs requeued from their last committed checkpoint.
 fn serve(args: &[String]) -> ExitCode {
     let mut config = EngineConfig::from_env();
+    let mut journal_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -245,6 +287,13 @@ fn serve(args: &[String]) -> ExitCode {
                 }
                 i += 1;
             }
+            "--journal" => {
+                let Some(dir) = value(i) else {
+                    return fail("args", "--journal needs a directory");
+                };
+                journal_dir = Some(dir.clone());
+                i += 1;
+            }
             other => return fail("args", &format!("unknown serve flag {other:?}")),
         }
         i += 1;
@@ -252,6 +301,16 @@ fn serve(args: &[String]) -> ExitCode {
 
     let mut engine = JobEngine::new(config);
     register_atpg(&mut engine);
+    if let Some(dir) = &journal_dir {
+        // Attach after kind registration: recovery rebuilds kernels
+        // through the same factories as live submissions.
+        match engine.attach_journal(Path::new(dir)) {
+            // The summary goes to stderr: stdout stays strictly
+            // request/response so sessions are byte-comparable.
+            Ok(summary) => eprintln!("faultlib: journal {summary}"),
+            Err(e) => return fail("journal", &format!("cannot attach journal {dir}: {e}")),
+        }
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -300,6 +359,7 @@ fn serve(args: &[String]) -> ExitCode {
                     ("completed".into(), Json::num(records.len() as u64)),
                 ]));
             }
+            Some("results") => emit(&engine.results_json()),
             Some("stats") => emit(&engine.stats_json()),
             Some("quit") => {
                 emit(&Json::Obj(vec![
@@ -311,7 +371,7 @@ fn serve(args: &[String]) -> ExitCode {
             }
             other => {
                 let msg = match other {
-                    Some(op) => format!("unknown op {op:?} (submit|run|stats|quit)"),
+                    Some(op) => format!("unknown op {op:?} (submit|run|results|stats|quit)"),
                     None => "missing \"op\"".to_owned(),
                 };
                 emit(&Json::Obj(vec![
