@@ -15,7 +15,8 @@ use dynmos_protest::FaultEntry;
 use dynmos_protest::{
     detection_probabilities, mc_signal_probability, network_fault_list,
     optimize_input_probabilities, signal_probabilities, stuck_fault_list, test_length,
-    FaultSimulator, Parallelism, PatternSource,
+    DetectionEngine, FaultSimulator, Parallelism, PatternSource, RunBudget, TestabilityConfig,
+    TierMode,
 };
 use dynmos_switch::gates::{domino_gate, static_nor2};
 use dynmos_switch::{contention, FaultSet, Logic, RcParams, Sim, SwitchFault};
@@ -497,6 +498,53 @@ fn bench_fsim_json(_c: &mut Criterion) {
         }
     }
 
+    // Testability-engine throughput: the symbolic tiers on the
+    // paper-scale adder (161 inputs — far beyond exact enumeration).
+    // `resolve` is the one-time per-fault tier resolution (BDD
+    // difference construction / cutting interval propagation);
+    // `query` is the per-probability-vector re-evaluation that the
+    // weight optimizer's inner loop pays.
+    let testability = {
+        let net = ripple_adder(80);
+        let faults = stuck_fault_list(&net);
+        let n = net.primary_inputs().len();
+        let probs = vec![0.5f64; n];
+        let budget = RunBudget::unlimited();
+        let mut tier_rows = String::new();
+        for tier in [TierMode::Bdd, TierMode::Cutting] {
+            // Tightening off: the row measures the tier kernel itself,
+            // not the optional sampling pass.
+            let config = TestabilityConfig::new(tier).with_mc_tighten_samples(0);
+            let resolve_t = Instant::now();
+            let mut engine =
+                DetectionEngine::new(&net, &faults, config).with_parallelism(Parallelism::Serial);
+            let first = engine.estimates(&probs, &budget).expect("unlimited budget");
+            let resolve_secs = resolve_t.elapsed().as_secs_f64();
+            assert_eq!(first.len(), faults.len());
+            let query_secs = time_best3(|| {
+                let est = engine.estimates(&probs, &budget).expect("unlimited budget");
+                std::hint::black_box(est.len());
+            });
+            if !tier_rows.is_empty() {
+                tier_rows.push_str(",\n");
+            }
+            tier_rows.push_str(&format!(
+                "      {{\"tier\": \"{}\", \"resolve_seconds\": {resolve_secs:.6}, \
+                 \"resolve_faults_per_sec\": {:.1}, \"query_seconds\": {query_secs:.6}, \
+                 \"query_faults_per_sec\": {:.1}}}",
+                tier.token(),
+                faults.len() as f64 / resolve_secs.max(1e-12),
+                faults.len() as f64 / query_secs.max(1e-12),
+            ));
+        }
+        format!(
+            "  \"testability\": {{\n    \"circuit\": \"ripple_adder_80\",\n    \
+             \"gates\": {},\n    \"faults\": {},\n    \"tiers\": [\n{tier_rows}\n    ]\n  }},\n",
+            net.gates().len(),
+            faults.len(),
+        )
+    };
+
     // Weighted-generator kernel: bit-sliced vs the per-bit gen_bool
     // baseline, as raw word generation and as a full Monte Carlo run on
     // a non-uniform probability vector.
@@ -536,7 +584,7 @@ fn bench_fsim_json(_c: &mut Criterion) {
 
     let total_words = (gen_words * gen_inputs) as f64;
     let json = format!(
-        "{{\n  \"bench\": \"fsim\",\n  \"fsim\": [\n{rows}\n  ],\n  \
+        "{{\n  \"bench\": \"fsim\",\n  \"fsim\": [\n{rows}\n  ],\n{testability}  \
          \"weighted_generator\": {{\n    \"probability\": {p},\n    \
          \"inputs\": {gen_inputs},\n    \"weighted_words\": {},\n    \
          \"per_bit_ns_per_word\": {:.2},\n    \"bit_sliced_ns_per_word\": {:.2},\n    \

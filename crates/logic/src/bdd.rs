@@ -12,6 +12,32 @@ use crate::expr::Bexpr;
 use crate::vars::VarId;
 use std::collections::HashMap;
 
+/// The manager's node budget was exhausted mid-operation.
+///
+/// Returned by the `try_*` operations on a manager built with
+/// [`Bdd::with_node_limit`]. The partially built nodes are still in the
+/// store; callers that want transactional behaviour should take a
+/// [`Bdd::mark`] before the operation and [`Bdd::truncate`] back to it on
+/// overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddOverflow {
+    /// The node limit that was hit.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BDD node budget of {} exhausted", self.limit)
+    }
+}
+
+impl std::error::Error for BddOverflow {}
+
+/// A watermark into a [`Bdd`] node store, taken with [`Bdd::mark`] and
+/// rolled back to with [`Bdd::truncate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddMark(usize);
+
 /// Reference to a node inside a [`Bdd`] manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BddRef(u32);
@@ -61,6 +87,7 @@ pub struct Bdd {
     and_cache: HashMap<(BddRef, BddRef), BddRef>,
     xor_cache: HashMap<(BddRef, BddRef), BddRef>,
     not_cache: HashMap<BddRef, BddRef>,
+    node_limit: Option<usize>,
 }
 
 impl Bdd {
@@ -79,12 +106,58 @@ impl Bdd {
             and_cache: HashMap::new(),
             xor_cache: HashMap::new(),
             not_cache: HashMap::new(),
+            node_limit: None,
         }
+    }
+
+    /// Creates a manager with a hard node budget: any `try_*` operation
+    /// that would push the store past `limit` nodes returns
+    /// [`BddOverflow`] instead of growing without bound. The infallible
+    /// operations (`and`, `or`, …) panic on overflow — use the `try_*`
+    /// variants on a budgeted manager.
+    pub fn with_node_limit(limit: usize) -> Self {
+        let mut bdd = Self::new();
+        bdd.node_limit = Some(limit.max(2));
+        bdd
+    }
+
+    /// The configured node budget, if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
     }
 
     /// Number of live nodes (incl. the two terminals) — the size metric.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Takes a watermark of the current node store, for transactional
+    /// rollback with [`truncate`](Self::truncate).
+    pub fn mark(&self) -> BddMark {
+        BddMark(self.nodes.len())
+    }
+
+    /// Rolls the node store back to a previously taken [`mark`]: every
+    /// node created since is removed, and cache entries touching removed
+    /// nodes are dropped. Refs obtained before the mark stay valid; refs
+    /// created after it must not be used again.
+    ///
+    /// [`mark`]: Self::mark
+    pub fn truncate(&mut self, mark: BddMark) {
+        let keep = mark.0;
+        if keep >= self.nodes.len() {
+            return;
+        }
+        for n in &self.nodes[keep..] {
+            self.unique.remove(n);
+        }
+        self.nodes.truncate(keep);
+        let live = |r: BddRef| (r.0 as usize) < keep;
+        self.and_cache
+            .retain(|&(a, b), r| live(a) && live(b) && live(*r));
+        self.xor_cache
+            .retain(|&(a, b), r| live(a) && live(b) && live(*r));
+        self.not_cache.retain(|&a, r| live(a) && live(*r));
     }
 
     fn node(&self, r: BddRef) -> Node {
@@ -93,22 +166,38 @@ impl Bdd {
 
     /// Hash-consing constructor with the reduction rules.
     fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        self.try_mk(var, lo, hi)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    fn try_mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, BddOverflow> {
         if lo == hi {
-            return lo;
+            return Ok(lo);
         }
         let n = Node { var, lo, hi };
         if let Some(&r) = self.unique.get(&n) {
-            return r;
+            return Ok(r);
+        }
+        if let Some(limit) = self.node_limit {
+            if self.nodes.len() >= limit {
+                return Err(BddOverflow { limit });
+            }
         }
         let r = BddRef(self.nodes.len() as u32);
         self.nodes.push(n);
         self.unique.insert(n, r);
-        r
+        Ok(r)
     }
 
     /// The single-variable function `var`.
     pub fn var(&mut self, var: VarId) -> BddRef {
         self.mk(var.0, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// [`var`](Self::var), failing gracefully when the node budget runs
+    /// out.
+    pub fn try_var(&mut self, var: VarId) -> Result<BddRef, BddOverflow> {
+        self.try_mk(var.0, BddRef::FALSE, BddRef::TRUE)
     }
 
     /// Top variable of a non-terminal; terminals sort last.
@@ -131,89 +220,113 @@ impl Bdd {
 
     /// Conjunction.
     pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.try_and(a, b)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    /// Conjunction, failing gracefully when the node budget runs out.
+    pub fn try_and(&mut self, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
         if a == BddRef::FALSE || b == BddRef::FALSE {
-            return BddRef::FALSE;
+            return Ok(BddRef::FALSE);
         }
         if a == BddRef::TRUE {
-            return b;
+            return Ok(b);
         }
         if b == BddRef::TRUE {
-            return a;
+            return Ok(a);
         }
         if a == b {
-            return a;
+            return Ok(a);
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.and_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let v = self.top_var(a).min(self.top_var(b));
         let (a0, a1) = self.cofactors(a, v);
         let (b0, b1) = self.cofactors(b, v);
-        let lo = self.and(a0, b0);
-        let hi = self.and(a1, b1);
-        let r = self.mk(v, lo, hi);
+        let lo = self.try_and(a0, b0)?;
+        let hi = self.try_and(a1, b1)?;
+        let r = self.try_mk(v, lo, hi)?;
         self.and_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Complement.
     pub fn not(&mut self, a: BddRef) -> BddRef {
+        self.try_not(a)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    /// Complement, failing gracefully when the node budget runs out.
+    pub fn try_not(&mut self, a: BddRef) -> Result<BddRef, BddOverflow> {
         if a == BddRef::FALSE {
-            return BddRef::TRUE;
+            return Ok(BddRef::TRUE);
         }
         if a == BddRef::TRUE {
-            return BddRef::FALSE;
+            return Ok(BddRef::FALSE);
         }
         if let Some(&r) = self.not_cache.get(&a) {
-            return r;
+            return Ok(r);
         }
         let n = self.node(a);
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.var, lo, hi);
+        let lo = self.try_not(n.lo)?;
+        let hi = self.try_not(n.hi)?;
+        let r = self.try_mk(n.var, lo, hi)?;
         self.not_cache.insert(a, r);
         self.not_cache.insert(r, a);
-        r
+        Ok(r)
     }
 
     /// Disjunction (via De Morgan).
     pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
-        let na = self.not(a);
-        let nb = self.not(b);
-        let n = self.and(na, nb);
-        self.not(n)
+        self.try_or(a, b)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    /// Disjunction, failing gracefully when the node budget runs out.
+    pub fn try_or(&mut self, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
+        let na = self.try_not(a)?;
+        let nb = self.try_not(b)?;
+        let n = self.try_and(na, nb)?;
+        self.try_not(n)
     }
 
     /// Exclusive or — the Boolean difference used for test patterns.
     pub fn xor(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.try_xor(a, b)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    /// Exclusive or, failing gracefully when the node budget runs out.
+    pub fn try_xor(&mut self, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
         if a == b {
-            return BddRef::FALSE;
+            return Ok(BddRef::FALSE);
         }
         if a == BddRef::FALSE {
-            return b;
+            return Ok(b);
         }
         if b == BddRef::FALSE {
-            return a;
+            return Ok(a);
         }
         if a == BddRef::TRUE {
-            return self.not(b);
+            return self.try_not(b);
         }
         if b == BddRef::TRUE {
-            return self.not(a);
+            return self.try_not(a);
         }
         let key = (a.min(b), a.max(b));
         if let Some(&r) = self.xor_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let v = self.top_var(a).min(self.top_var(b));
         let (a0, a1) = self.cofactors(a, v);
         let (b0, b1) = self.cofactors(b, v);
-        let lo = self.xor(a0, b0);
-        let hi = self.xor(a1, b1);
-        let r = self.mk(v, lo, hi);
+        let lo = self.try_xor(a0, b0)?;
+        let hi = self.try_xor(a1, b1)?;
+        let r = self.try_mk(v, lo, hi)?;
         self.xor_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Builds the BDD of an expression.
@@ -261,7 +374,14 @@ impl Bdd {
         cur == BddRef::TRUE
     }
 
-    /// Number of satisfying assignments over `nvars` variables.
+    /// Number of satisfying assignments over `nvars` variables,
+    /// saturating at `u64::MAX`.
+    ///
+    /// The count is derived from the satisfying *fraction* in f64, so for
+    /// `nvars >= 64` (or any count at f64 resolution of 2^nvars) the
+    /// result is exact only when the fraction is: a 64-variable AND chain
+    /// still counts exactly 1, but a function satisfied by more than
+    /// `u64::MAX` rows reports `u64::MAX`.
     ///
     /// # Panics
     ///
@@ -269,7 +389,15 @@ impl Bdd {
     pub fn sat_count(&self, r: BddRef, nvars: usize) -> u64 {
         let mut memo: HashMap<BddRef, f64> = HashMap::new();
         let frac = self.sat_fraction(r, &mut memo);
-        (frac * (1u64 << nvars) as f64).round() as u64
+        // 2^nvars overflows the old `1u64 << nvars` for nvars >= 64;
+        // compute in f64 (exact for powers of two up to the exponent
+        // range) and saturate.
+        let count = frac * 2f64.powi(nvars.min(4096) as i32);
+        if count >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            count.round() as u64
+        }
     }
 
     fn sat_fraction(&self, r: BddRef, memo: &mut HashMap<BddRef, f64>) -> f64 {
@@ -302,6 +430,38 @@ impl Bdd {
         }
         let mut memo: HashMap<BddRef, f64> = HashMap::new();
         self.prob_rec(r, probs, &mut memo)
+    }
+
+    /// [`probability`](Self::probability) with a caller-owned memo table,
+    /// so a streaming caller evaluating one root at a time still shares
+    /// work across roots the way [`probabilities_many`] does.
+    ///
+    /// [`probabilities_many`]: Self::probabilities_many
+    pub fn probability_memo(
+        &self,
+        r: BddRef,
+        probs: &[f64],
+        memo: &mut HashMap<BddRef, f64>,
+    ) -> f64 {
+        for &p in probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        self.prob_rec(r, probs, memo)
+    }
+
+    /// [`probability`](Self::probability) over many roots at once,
+    /// sharing one memo table: nodes common to several functions (the
+    /// normal case for per-fault detectability functions over one good
+    /// machine) are evaluated once.
+    pub fn probabilities_many(&self, roots: &[BddRef], probs: &[f64]) -> Vec<f64> {
+        for &p in probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        roots
+            .iter()
+            .map(|&r| self.prob_rec(r, probs, &mut memo))
+            .collect()
     }
 
     fn prob_rec(&self, r: BddRef, probs: &[f64], memo: &mut HashMap<BddRef, f64>) -> f64 {
@@ -345,35 +505,46 @@ impl Bdd {
     /// # }
     /// ```
     pub fn eval_expr_over(&mut self, expr: &Bexpr, operand: &impl Fn(VarId) -> BddRef) -> BddRef {
+        self.try_eval_expr_over(expr, operand)
+            .expect("node budget exhausted; use the try_* operations")
+    }
+
+    /// [`eval_expr_over`](Self::eval_expr_over), failing gracefully when
+    /// the node budget runs out.
+    pub fn try_eval_expr_over(
+        &mut self,
+        expr: &Bexpr,
+        operand: &impl Fn(VarId) -> BddRef,
+    ) -> Result<BddRef, BddOverflow> {
         match expr {
-            Bexpr::Const(false) => BddRef::FALSE,
-            Bexpr::Const(true) => BddRef::TRUE,
-            Bexpr::Var(v) => operand(*v),
+            Bexpr::Const(false) => Ok(BddRef::FALSE),
+            Bexpr::Const(true) => Ok(BddRef::TRUE),
+            Bexpr::Var(v) => Ok(operand(*v)),
             Bexpr::Not(e) => {
-                let inner = self.eval_expr_over(e, operand);
-                self.not(inner)
+                let inner = self.try_eval_expr_over(e, operand)?;
+                self.try_not(inner)
             }
             Bexpr::And(ts) => {
                 let mut acc = BddRef::TRUE;
                 for t in ts {
-                    let b = self.eval_expr_over(t, operand);
-                    acc = self.and(acc, b);
+                    let b = self.try_eval_expr_over(t, operand)?;
+                    acc = self.try_and(acc, b)?;
                     if acc == BddRef::FALSE {
                         break;
                     }
                 }
-                acc
+                Ok(acc)
             }
             Bexpr::Or(ts) => {
                 let mut acc = BddRef::FALSE;
                 for t in ts {
-                    let b = self.eval_expr_over(t, operand);
-                    acc = self.or(acc, b);
+                    let b = self.try_eval_expr_over(t, operand)?;
+                    acc = self.try_or(acc, b)?;
                     if acc == BddRef::TRUE {
                         break;
                     }
                 }
-                acc
+                Ok(acc)
             }
         }
     }
@@ -541,6 +712,91 @@ mod tests {
         let p = bdd.probability(acc, &vec![0.03; 40]);
         let expect = 1.0 - 0.97f64.powi(40);
         assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_count_saturates_instead_of_overflowing() {
+        // Regression: `1u64 << 64` used to overflow silently. A 64-var
+        // AND chain has exactly one satisfying row; a 70-var OR has more
+        // rows than u64 can hold and must saturate.
+        let mut bdd = Bdd::new();
+        let mut and_acc = BddRef::TRUE;
+        let mut or_acc = BddRef::FALSE;
+        for i in 0..70u32 {
+            let v = bdd.var(VarId(i));
+            if i < 64 {
+                and_acc = bdd.and(and_acc, v);
+            }
+            or_acc = bdd.or(or_acc, v);
+        }
+        assert_eq!(bdd.sat_count(and_acc, 64), 1);
+        assert_eq!(bdd.sat_count(or_acc, 70), u64::MAX);
+        assert_eq!(bdd.sat_count(BddRef::TRUE, 64), u64::MAX);
+        assert_eq!(bdd.sat_count(BddRef::TRUE, 63), 1u64 << 63);
+    }
+
+    #[test]
+    fn node_budget_overflows_gracefully() {
+        // An 8-var parity function needs more than 16 nodes; the
+        // budgeted manager must refuse instead of growing.
+        let mut bdd = Bdd::with_node_limit(16);
+        let mark = bdd.mark();
+        let mut acc = BddRef::FALSE;
+        let mut overflowed = false;
+        for i in 0..8u32 {
+            let v = bdd.var(VarId(i));
+            match bdd.try_xor(acc, v) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    assert_eq!(e.limit, 16);
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "16-node budget must not fit 8-var parity");
+        assert!(bdd.node_count() <= 16);
+        // Rollback leaves only the terminals.
+        bdd.truncate(mark);
+        assert_eq!(bdd.node_count(), 2);
+    }
+
+    #[test]
+    fn truncate_keeps_earlier_roots_valid() {
+        let mut vars = VarTable::new();
+        let e = parse_expr("a*(b+/c)+d", &mut vars).unwrap();
+        let mut bdd = Bdd::new();
+        let root = bdd.from_expr(&e);
+        let probs = vec![0.3, 0.4, 0.5, 0.6];
+        let before = bdd.probability(root, &probs);
+        let mark = bdd.mark();
+        // Build and discard an unrelated function.
+        let junk = parse_expr("e*f+g*h+e*/g", &mut vars).unwrap();
+        let jr = bdd.from_expr(&junk);
+        assert!(!jr.is_const());
+        bdd.truncate(mark);
+        // The earlier root still evaluates identically, and rebuilding
+        // the original expression hash-conses back to the same ref.
+        assert_eq!(bdd.probability(root, &probs), before);
+        assert_eq!(bdd.from_expr(&e), root);
+        for w in 0..16u64 {
+            assert_eq!(bdd.eval_word(root, w), e.eval_word(w));
+        }
+    }
+
+    #[test]
+    fn probabilities_many_matches_scalar() {
+        let mut vars = VarTable::new();
+        let e1 = parse_expr("a*(b+/c)+d", &mut vars).unwrap();
+        let e2 = parse_expr("a*b+c*d", &mut vars).unwrap();
+        let mut bdd = Bdd::new();
+        let r1 = bdd.from_expr(&e1);
+        let r2 = bdd.from_expr(&e2);
+        let probs = vec![0.15, 0.35, 0.55, 0.75];
+        let many = bdd.probabilities_many(&[r1, r2, BddRef::TRUE], &probs);
+        assert_eq!(many[0], bdd.probability(r1, &probs));
+        assert_eq!(many[1], bdd.probability(r2, &probs));
+        assert_eq!(many[2], 1.0);
     }
 
     #[test]

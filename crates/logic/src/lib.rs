@@ -40,7 +40,7 @@ pub mod prob;
 pub mod table;
 pub mod vars;
 
-pub use bdd::{Bdd, BddRef};
+pub use bdd::{Bdd, BddMark, BddOverflow, BddRef};
 pub use cube::{Cover, Cube};
 pub use error::ParseExprError;
 pub use expr::Bexpr;

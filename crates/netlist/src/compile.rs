@@ -525,6 +525,14 @@ impl PreparedFault<'_> {
     pub fn observable_outputs(&self) -> &[u32] {
         self.outputs
     }
+
+    /// The topological positions (ascending indices into
+    /// [`Network::topo_order`]) of the gates this fault's cone replays —
+    /// the same cone a symbolic engine must rebuild with the fault
+    /// injected.
+    pub fn cone_positions(&self) -> &[u32] {
+        self.cone
+    }
 }
 
 /// A reusable packed evaluator over a compiled network.

@@ -12,33 +12,70 @@
 //! sweeps reuse one detector (and its prepared faults) across hundreds of
 //! objective evaluations.
 
-use crate::budget::{RunBudget, RunStatus, StopReason};
+use crate::budget::{RunBudget, StopReason};
 use crate::list::FaultEntry;
 use crate::parallel::{plan_shards, run_sharded, Parallelism, ShardPlan};
 use dynmos_netlist::{Network, NetworkFault, PackedEvaluator, PreparedFault};
 
-/// How a [`DetectionEstimate`] was computed.
+/// How a [`DetectionEstimate`] was computed — the engine tier that
+/// served the fault (see [`crate::testability`] for the selection
+/// rules).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimateMethod {
     /// Exact weighted enumeration of the whole input space.
     Exact,
-    /// Monte-Carlo estimation: the row space exceeded
-    /// [`RunBudget::effective_exact_rows`], so the exact path was
-    /// refused and the sampler ran instead.
+    /// Monte-Carlo estimation (standalone sampler paths; the tiered
+    /// engine itself reports [`EstimateMethod::Cutting`] when sampling
+    /// only tightens certified bounds).
     MonteCarlo,
+    /// Exact symbolic evaluation on the shared BDD — mathematically
+    /// exact, but summed in BDD order rather than enumeration order.
+    Bdd,
+    /// Cutting-style certified bounds (`bounds` is always `Some`);
+    /// `value` is the Monte-Carlo-tightened point inside them, or the
+    /// interval midpoint when tightening is disabled.
+    Cutting,
 }
 
-/// A detection probability with its provenance. Exact enumerations
-/// report a zero standard error; Monte-Carlo fallbacks report the
-/// binomial standard error of their sample mean.
+impl EstimateMethod {
+    /// Machine-readable token used in service payloads and status lines.
+    pub fn token(self) -> &'static str {
+        match self {
+            EstimateMethod::Exact => "exact",
+            EstimateMethod::MonteCarlo => "monte-carlo",
+            EstimateMethod::Bdd => "bdd",
+            EstimateMethod::Cutting => "cutting",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(EstimateMethod::Exact),
+            "monte-carlo" => Ok(EstimateMethod::MonteCarlo),
+            "bdd" => Ok(EstimateMethod::Bdd),
+            "cutting" => Ok(EstimateMethod::Cutting),
+            other => Err(format!("unknown estimate method {other:?}")),
+        }
+    }
+}
+
+/// A detection probability with its provenance. Exact and BDD tiers
+/// report a zero standard error; Monte-Carlo reports the binomial
+/// standard error of its sample mean; the cutting tier reports certified
+/// bounds plus a point estimate inside them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionEstimate {
-    /// The detection probability (exact value or sample mean).
+    /// The detection probability (exact value, sample mean, or a point
+    /// inside the certified bounds).
     pub value: f64,
-    /// Standard error of `value` (0 for the exact method).
+    /// Standard error of `value` (0 for the exact methods).
     pub std_error: f64,
-    /// Which path produced `value`.
+    /// Which engine tier produced `value`.
     pub method: EstimateMethod,
+    /// Certified `[low, high]` enclosure of the true probability —
+    /// `Some` exactly when `method` is [`EstimateMethod::Cutting`].
+    pub bounds: Option<(f64, f64)>,
 }
 
 /// The number of enumeration rows for `inputs` primary inputs, or
@@ -402,47 +439,29 @@ pub fn detection_probability_estimates(
     parallelism: Parallelism,
     run_budget: &RunBudget,
 ) -> Result<Vec<DetectionEstimate>, StopReason> {
+    let config = crate::testability::TestabilityConfig::from_env().with_seed(seed);
+    detection_probability_estimates_with(net, faults, pi_probs, parallelism, run_budget, &config)
+}
+
+/// [`detection_probability_estimates`] with an explicit engine
+/// configuration — the entry point for callers (and tests) that must pin
+/// a tier regardless of `DYNMOS_TESTABILITY`.
+pub fn detection_probability_estimates_with(
+    net: &Network,
+    faults: &[FaultEntry],
+    pi_probs: &[f64],
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    config: &crate::testability::TestabilityConfig,
+) -> Result<Vec<DetectionEstimate>, StopReason> {
     let n = net.primary_inputs().len();
     assert_eq!(pi_probs.len(), n, "need one probability per primary input");
     if faults.is_empty() {
         return Ok(Vec::new());
     }
-    let cap = run_budget.effective_exact_rows();
-    if row_space(n).is_some_and(|rows| rows <= cap) {
-        let mut det = ExactDetector::new(net, faults);
-        det.set_parallelism(parallelism);
-        let values = det.try_probabilities(pi_probs, run_budget)?;
-        return Ok(values
-            .into_iter()
-            .map(|value| DetectionEstimate {
-                value,
-                std_error: 0.0,
-                method: EstimateMethod::Exact,
-            })
-            .collect());
-    }
-    let samples = cap.clamp(1 << 12, 1 << 20);
-    let run = crate::montecarlo::mc_detection_probabilities_budgeted(
-        net,
-        faults,
-        pi_probs,
-        seed,
-        samples,
-        parallelism,
-        run_budget,
-    );
-    match run.status {
-        RunStatus::Completed => Ok(run
-            .estimates
-            .into_iter()
-            .map(|e| DetectionEstimate {
-                value: e.value,
-                std_error: e.std_error(),
-                method: EstimateMethod::MonteCarlo,
-            })
-            .collect()),
-        RunStatus::Interrupted(reason) => Err(reason),
-    }
+    crate::testability::DetectionEngine::new(net, faults, config.clone())
+        .with_parallelism(parallelism)
+        .estimates(pi_probs, run_budget)
 }
 
 /// The whole-row-space fold the serial path and every fault-axis worker
@@ -724,13 +743,15 @@ mod tests {
         let list = network_fault_list(&net);
         let probs = vec![0.5; 8];
         let exact = detection_probabilities(&net, &list, &probs);
-        let est = detection_probability_estimates(
+        // Pinned Auto config: the test asserts the exact tier even when
+        // the suite runs under a DYNMOS_TESTABILITY override.
+        let est = detection_probability_estimates_with(
             &net,
             &list,
             &probs,
-            0xFACE,
             Parallelism::Serial,
             &RunBudget::unlimited(),
+            &crate::testability::TestabilityConfig::new(crate::testability::TierMode::Auto),
         )
         .expect("completes");
         assert_eq!(est.len(), exact.len());
@@ -742,27 +763,47 @@ mod tests {
     }
 
     #[test]
-    fn estimates_degrade_to_monte_carlo_over_cap() {
-        // 32 inputs: 2^32 rows exceed any cap — the old path panicked
-        // ("infeasible"); the estimator now degrades to Monte Carlo
-        // and reports a standard error. A tight row cap keeps the
-        // fallback sample budget (cap clamped to [2^12, 2^20]) small.
+    fn estimates_go_symbolic_over_cap() {
+        // 32 inputs: 2^32 rows exceed any cap — the historic path
+        // panicked ("infeasible"), then degraded to Monte Carlo; the
+        // tiered engine now serves these faults exactly from the BDD
+        // tier (the tree's BDD is linear in its width).
         let net = and_or_tree(5);
         let list: Vec<_> = network_fault_list(&net).into_iter().take(4).collect();
-        let est = detection_probability_estimates(
+        let probs = vec![0.5; 32];
+        let est = detection_probability_estimates_with(
             &net,
             &list,
-            &vec![0.5; 32],
-            0xDAC0,
+            &probs,
             Parallelism::Serial,
             &RunBudget::unlimited().with_max_exact_rows(1 << 12),
+            &crate::testability::TestabilityConfig::new(crate::testability::TierMode::Auto),
         )
         .expect("completes");
         assert_eq!(est.len(), list.len());
-        assert!(est.iter().all(|e| e.method == EstimateMethod::MonteCarlo));
-        assert!(est.iter().all(|e| (0.0..=1.0).contains(&e.value)));
-        // The tree's faults are all detectable under uniform inputs;
-        // a nonzero sample mean carries a nonzero standard error.
-        assert!(est.iter().any(|e| e.value > 0.0 && e.std_error > 0.0));
+        for (e, entry) in est.iter().zip(&list) {
+            assert_eq!(e.method, EstimateMethod::Bdd, "{}", entry.label);
+            assert_eq!(e.std_error, 0.0);
+            let reference = crate::symbolic::bdd_detection_probability(&net, &entry.fault, &probs);
+            assert!(
+                (e.value - reference).abs() < 1e-12,
+                "{}: {} vs {reference}",
+                entry.label,
+                e.value
+            );
+        }
+    }
+
+    #[test]
+    fn method_tokens_round_trip() {
+        for m in [
+            EstimateMethod::Exact,
+            EstimateMethod::MonteCarlo,
+            EstimateMethod::Bdd,
+            EstimateMethod::Cutting,
+        ] {
+            assert_eq!(EstimateMethod::from_token(m.token()), Ok(m));
+        }
+        assert!(EstimateMethod::from_token("fast").is_err());
     }
 }

@@ -52,12 +52,13 @@ pub mod parallel;
 pub mod random;
 pub mod service;
 pub mod symbolic;
+pub mod testability;
 
 pub use budget::{env_budget_ms, RunBudget, RunStatus, StopReason, DEFAULT_EXACT_ROWS};
 pub use chaos::{env_fault_plan, CrashPoint, FaultPlan, LegFault, WorkerFault};
 pub use detect::{
-    detection_probabilities, detection_probability_estimates, exact_detection_probability,
-    DetectionEstimate, EstimateMethod, ExactDetector,
+    detection_probabilities, detection_probability_estimates, detection_probability_estimates_with,
+    exact_detection_probability, DetectionEstimate, EstimateMethod, ExactDetector,
 };
 pub use estimate::{exact_signal_probability, signal_probabilities};
 pub use fsim::{BudgetedFsim, FaultSimulator, FsimCheckpoint, FsimOutcome};
@@ -74,7 +75,8 @@ pub use montecarlo::{
 };
 pub use optimize::{
     optimize_input_probabilities, optimize_input_probabilities_budgeted,
-    optimize_input_probabilities_par, OptimizeReport, OptimizeRun,
+    optimize_input_probabilities_par, optimize_input_probabilities_with, OptimizeReport,
+    OptimizeRun,
 };
 pub use parallel::{
     plan_shards, run_sharded, shard_ranges, try_run_sharded, Parallelism, ShardError, ShardPlan,
@@ -87,4 +89,8 @@ pub use service::{
 pub use symbolic::{
     bdd_detection_probabilities, bdd_detection_probability, bdd_signal_probability,
     bdd_test_pattern,
+};
+pub use testability::{
+    env_testability, tier_census, DetectionEngine, TestabilityConfig, TierMode,
+    DEFAULT_NODE_BUDGET, DEFAULT_TIGHTEN_SAMPLES,
 };

@@ -19,15 +19,17 @@
 //! staying bit-identical at any thread count.
 
 use crate::budget::{RunBudget, RunStatus, StopReason};
-use crate::detect::{row_space, EstimateMethod, ExactDetector};
+use crate::detect::EstimateMethod;
 use crate::length::{test_length_budgeted, LengthError};
 use crate::list::FaultEntry;
 use crate::parallel::Parallelism;
+use crate::testability::{DetectionEngine, TestabilityConfig, TierMode};
 use dynmos_netlist::Network;
 
-/// Fixed seed for the Monte-Carlo objective: every evaluation of the
-/// same probability vector sees the same sample stream, so the descent
-/// compares candidates on a common, deterministic footing.
+/// Fixed seed for the sampling parts of the objective (cutting-tier
+/// bound tightening): every evaluation of the same probability vector
+/// sees the same sample stream, so the descent compares candidates on a
+/// common, deterministic footing.
 const OPT_MC_SEED: u64 = 0x0D7E57;
 
 /// Result of an optimization run.
@@ -123,8 +125,8 @@ pub fn optimize_input_probabilities_par(
 }
 
 /// An optimization outcome under a [`RunBudget`]: the (possibly
-/// partial) report, whether the descent completed, and which objective
-/// method ran.
+/// partial) report, whether the descent completed, and which engine
+/// tier(s) served the objective.
 #[derive(Debug, Clone)]
 pub struct OptimizeRun {
     /// Best probabilities and lengths seen before the stop. When the
@@ -134,22 +136,32 @@ pub struct OptimizeRun {
     /// [`RunStatus::Completed`], or the [`StopReason`] that ended the
     /// descent early.
     pub status: RunStatus,
-    /// [`EstimateMethod::Exact`] when the row space fits
-    /// [`RunBudget::effective_exact_rows`], otherwise the Monte-Carlo
-    /// fallback objective.
+    /// The weakest tier that served any fault — [`EstimateMethod::Exact`]
+    /// only when every fault ran exact, [`EstimateMethod::Cutting`] as
+    /// soon as one fault fell back to certified bounds. See `methods`
+    /// for the per-fault tags.
     pub method: EstimateMethod,
+    /// Per-fault engine tiers of the objective, in fault-list order.
+    /// Empty only when the run was interrupted before the first
+    /// objective evaluation finished.
+    pub methods: Vec<EstimateMethod>,
 }
 
 /// [`optimize_input_probabilities_par`] under a [`RunBudget`]. The
 /// budget is threaded into every objective evaluation (enumeration
-/// chunks, Monte-Carlo chunks, and test-length searches all check it);
-/// an interrupt ends the descent at the last fully evaluated candidate
-/// and returns the best-so-far report with
-/// [`RunStatus::Interrupted`]. When the row space exceeds
-/// [`RunBudget::effective_exact_rows`], the objective transparently
-/// degrades to Monte-Carlo estimation (fixed seed, sample budget =
-/// the row cap clamped to `[2^12, 2^16]`) instead of refusing — the
-/// chosen path is reported in [`OptimizeRun::method`].
+/// chunks, symbolic passes, and test-length searches all check it); an
+/// interrupt ends the descent at the last fully evaluated candidate and
+/// returns the best-so-far report with [`RunStatus::Interrupted`].
+///
+/// The objective runs on the tiered [`DetectionEngine`]: exact
+/// enumeration when the row space fits
+/// [`RunBudget::effective_exact_rows`], otherwise the shared-BDD tier
+/// (one linear probability pass per evaluation — the thing that makes
+/// coordinate descent feasible at hundreds of inputs), degrading per
+/// fault to certified cutting bounds. Per-fault tiers are reported in
+/// [`OptimizeRun::methods`]. The tier policy follows
+/// `DYNMOS_TESTABILITY`; use [`optimize_input_probabilities_with`] to
+/// pin it.
 ///
 /// # Panics
 ///
@@ -162,34 +174,46 @@ pub fn optimize_input_probabilities_budgeted(
     parallelism: Parallelism,
     run_budget: &RunBudget,
 ) -> OptimizeRun {
+    let config = TestabilityConfig::from_env().with_seed(OPT_MC_SEED);
+    optimize_input_probabilities_with(
+        net,
+        faults,
+        confidence,
+        max_sweeps,
+        parallelism,
+        run_budget,
+        &config,
+    )
+}
+
+/// [`optimize_input_probabilities_budgeted`] with an explicit engine
+/// configuration, for callers that must pin a tier regardless of
+/// `DYNMOS_TESTABILITY`.
+///
+/// # Panics
+///
+/// Panics if `faults` is empty or `confidence` is not in `(0,1)`.
+pub fn optimize_input_probabilities_with(
+    net: &Network,
+    faults: &[FaultEntry],
+    confidence: f64,
+    max_sweeps: usize,
+    parallelism: Parallelism,
+    run_budget: &RunBudget,
+    config: &TestabilityConfig,
+) -> OptimizeRun {
     let n = net.primary_inputs().len();
-    let exact = row_space(n).is_some_and(|rows| rows <= run_budget.effective_exact_rows());
-    let samples = run_budget.effective_exact_rows().clamp(1 << 12, 1 << 16);
-    // One detector (compiled evaluator + prepared faults) serves every
-    // objective evaluation of the descent.
-    let mut detector = exact.then(|| {
-        let mut det = ExactDetector::new(net, faults);
-        det.set_parallelism(parallelism);
-        det
-    });
+    // One engine (tier plan, shared BDD, per-fault difference roots)
+    // serves every objective evaluation of the descent.
+    let mut engine =
+        DetectionEngine::new(net, faults, config.clone()).with_parallelism(parallelism);
+    let mut methods: Vec<EstimateMethod> = Vec::new();
     let mut objective = |probs: &[f64]| -> Result<u64, StopReason> {
-        let dps: Vec<f64> = if let Some(det) = detector.as_mut() {
-            det.try_probabilities(probs, run_budget)?
-        } else {
-            let run = crate::montecarlo::mc_detection_probabilities_budgeted(
-                net,
-                faults,
-                probs,
-                OPT_MC_SEED,
-                samples,
-                parallelism,
-                run_budget,
-            );
-            match run.status {
-                RunStatus::Completed => run.estimates.into_iter().map(|e| e.value).collect(),
-                RunStatus::Interrupted(reason) => return Err(reason),
-            }
-        };
+        let estimates = engine.estimates(probs, run_budget)?;
+        if methods.is_empty() {
+            methods = estimates.iter().map(|e| e.method).collect();
+        }
+        let dps: Vec<f64> = estimates.into_iter().map(|e| e.value).collect();
         match test_length_budgeted(&dps, confidence, parallelism, run_budget) {
             Ok(len) => Ok(len),
             Err(LengthError::Interrupted(reason)) => Err(reason),
@@ -272,6 +296,7 @@ pub fn optimize_input_probabilities_budgeted(
             }
         }
     }
+    let method = summary_method(&methods, config, n, run_budget);
     OptimizeRun {
         report: OptimizeReport {
             probabilities: probs,
@@ -280,12 +305,35 @@ pub fn optimize_input_probabilities_budgeted(
             sweeps,
         },
         status,
-        method: if exact {
-            EstimateMethod::Exact
-        } else {
-            EstimateMethod::MonteCarlo
-        },
+        method,
+        methods,
     }
+}
+
+/// The weakest tier among `methods` (Exact < Bdd < MonteCarlo <
+/// Cutting, by strength of guarantee). When no evaluation finished,
+/// falls back to the tier the engine would have planned.
+fn summary_method(
+    methods: &[EstimateMethod],
+    config: &TestabilityConfig,
+    inputs: usize,
+    run_budget: &RunBudget,
+) -> EstimateMethod {
+    if methods.is_empty() {
+        let rows_fit = inputs < 64 && (1u64 << inputs) <= run_budget.effective_exact_rows();
+        return match config.mode {
+            TierMode::Auto | TierMode::Exact if rows_fit => EstimateMethod::Exact,
+            TierMode::Cutting => EstimateMethod::Cutting,
+            _ => EstimateMethod::Bdd,
+        };
+    }
+    let rank = |m: &EstimateMethod| match m {
+        EstimateMethod::Exact => 0,
+        EstimateMethod::Bdd => 1,
+        EstimateMethod::MonteCarlo => 2,
+        EstimateMethod::Cutting => 3,
+    };
+    *methods.iter().max_by_key(|m| rank(m)).expect("non-empty")
 }
 
 #[cfg(test)]
@@ -355,42 +403,62 @@ mod tests {
         // A live deadline routes every objective through the chunked
         // budgeted kernels; a completed run must reproduce the
         // unbudgeted report exactly.
+        // Pinned Auto config: the assertions are about the exact tier
+        // and must hold under any `DYNMOS_TESTABILITY` CI leg.
+        let auto = TestabilityConfig::new(TierMode::Auto);
         let net = single_cell_network(domino_wide_and(8));
         let faults = network_fault_list(&net);
-        let reference = optimize_input_probabilities(&net, &faults, 0.999, 8);
+        let reference = optimize_input_probabilities_with(
+            &net,
+            &faults,
+            0.999,
+            8,
+            Parallelism::Serial,
+            &RunBudget::unlimited(),
+            &auto,
+        );
         let far = RunBudget::deadline_in(std::time::Duration::from_secs(3600));
-        let run = optimize_input_probabilities_budgeted(
+        let run = optimize_input_probabilities_with(
             &net,
             &faults,
             0.999,
             8,
             Parallelism::Serial,
             &far,
+            &auto,
         );
         assert!(run.status.is_complete());
         assert_eq!(run.method, EstimateMethod::Exact);
-        assert_eq!(run.report.probabilities, reference.probabilities);
-        assert_eq!(run.report.uniform_length, reference.uniform_length);
-        assert_eq!(run.report.optimized_length, reference.optimized_length);
-        assert_eq!(run.report.sweeps, reference.sweeps);
+        assert!(run.methods.iter().all(|&m| m == EstimateMethod::Exact));
+        assert_eq!(run.report.probabilities, reference.report.probabilities);
+        assert_eq!(run.report.uniform_length, reference.report.uniform_length);
+        assert_eq!(
+            run.report.optimized_length,
+            reference.report.optimized_length
+        );
+        assert_eq!(run.report.sweeps, reference.report.sweeps);
     }
 
     #[test]
-    fn over_cap_objective_degrades_to_monte_carlo() {
-        // A row cap below 2^6 forces the Monte-Carlo objective; the
-        // descent still completes and never worsens the start point.
+    fn over_cap_objective_goes_symbolic() {
+        // A row cap below 2^6 moves the objective onto the shared-BDD
+        // tier; the descent still completes, tags every fault, and
+        // never worsens the start point.
         let net = single_cell_network(domino_wide_and(6));
         let faults = network_fault_list(&net);
-        let run = optimize_input_probabilities_budgeted(
+        let run = optimize_input_probabilities_with(
             &net,
             &faults,
             0.99,
             1,
             Parallelism::Serial,
             &RunBudget::unlimited().with_max_exact_rows(1 << 4),
+            &TestabilityConfig::new(TierMode::Auto),
         );
         assert!(run.status.is_complete());
-        assert_eq!(run.method, EstimateMethod::MonteCarlo);
+        assert_eq!(run.method, EstimateMethod::Bdd);
+        assert_eq!(run.methods.len(), faults.len());
+        assert!(run.methods.iter().all(|&m| m == EstimateMethod::Bdd));
         assert!(run.report.optimized_length <= run.report.uniform_length);
         assert_eq!(run.report.probabilities.len(), 6);
     }

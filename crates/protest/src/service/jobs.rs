@@ -12,7 +12,7 @@
 //! estimators) and merely idempotent-restarted for the rest.
 
 use crate::budget::{RunBudget, RunStatus};
-use crate::detect::{detection_probability_estimates, EstimateMethod};
+use crate::detect::{detection_probability_estimates, DetectionEstimate, EstimateMethod};
 use crate::fsim::{FaultSimulator, FsimCheckpoint, FsimOutcome};
 use crate::length::{test_length_budgeted, LengthError};
 use crate::list::FaultEntry;
@@ -24,6 +24,7 @@ use crate::optimize::{optimize_input_probabilities_budgeted, OptimizeReport};
 use crate::parallel::Parallelism;
 use crate::random::PatternSource;
 use crate::service::json::Json;
+use crate::testability::{tier_census, DetectionEngine, TestabilityConfig, TierMode};
 use dynmos_netlist::Network;
 use std::sync::Arc;
 
@@ -519,7 +520,7 @@ pub struct DetectEstimatesJob {
     seed: u64,
     probs: Vec<f64>,
     max_exact_rows: Option<u64>,
-    result: Option<Vec<(f64, f64, EstimateMethod)>>,
+    result: Option<Vec<DetectionEstimate>>,
 }
 
 impl DetectEstimatesJob {
@@ -567,11 +568,7 @@ impl JobKernel for DetectEstimatesJob {
             &self.budget_with_rows(budget),
         ) {
             Ok(est) => {
-                self.result = Some(
-                    est.iter()
-                        .map(|e| (e.value, e.std_error, e.method))
-                        .collect(),
-                );
+                self.result = Some(est);
                 RunStatus::Completed
             }
             Err(reason) => RunStatus::Interrupted(reason),
@@ -584,28 +581,27 @@ impl JobKernel for DetectEstimatesJob {
             ("kind".into(), Json::str("detect")),
             (
                 "estimates".into(),
-                Json::Arr(
-                    estimates
-                        .iter()
-                        .map(|(value, std_error, method)| {
-                            Json::Obj(vec![
-                                ("value".into(), Json::Num(*value)),
-                                ("std_error".into(), Json::Num(*std_error)),
-                                (
-                                    "method".into(),
-                                    Json::str(match method {
-                                        EstimateMethod::Exact => "exact",
-                                        EstimateMethod::MonteCarlo => "monte-carlo",
-                                    }),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Arr(estimates.iter().map(estimate_json).collect()),
             ),
             ("complete".into(), Json::Bool(self.result.is_some())),
         ])
     }
+}
+
+/// Shared payload shape for a [`DetectionEstimate`]: value, standard
+/// error, engine-tier token, and — for the cutting tier — certified
+/// bounds.
+fn estimate_json(e: &DetectionEstimate) -> Json {
+    let mut fields = vec![
+        ("value".into(), Json::Num(e.value)),
+        ("std_error".into(), Json::Num(e.std_error)),
+        ("method".into(), Json::str(e.method.token())),
+    ];
+    if let Some((lo, hi)) = e.bounds {
+        fields.push(("low".into(), Json::Num(lo)));
+        fields.push(("high".into(), Json::Num(hi)));
+    }
+    Json::Obj(fields)
 }
 
 /// Two-phase test-length job: detection probabilities (phase 1, cached
@@ -759,6 +755,7 @@ pub struct OptimizeJob {
     confidence: f64,
     max_sweeps: usize,
     report: Option<OptimizeReport>,
+    methods: Vec<EstimateMethod>,
     complete: bool,
 }
 
@@ -777,6 +774,7 @@ impl OptimizeJob {
             faults: ctx.faults,
             parallelism: ctx.parallelism,
             report: None,
+            methods: Vec::new(),
             complete: false,
         })
     }
@@ -801,6 +799,7 @@ impl JobKernel for OptimizeJob {
         );
         self.complete = run.status.is_complete();
         self.report = Some(run.report);
+        self.methods = run.methods;
         run.status
     }
 
@@ -814,17 +813,180 @@ impl JobKernel for OptimizeJob {
             members.push(("uniform_length".into(), Json::num(r.uniform_length)));
             members.push(("optimized_length".into(), Json::num(r.optimized_length)));
             members.push(("sweeps".into(), Json::num(r.sweeps as u64)));
+            members.push(("tiers".into(), Json::str(tier_census(&self.methods))));
         }
         members.push(("complete".into(), Json::Bool(self.complete)));
         Json::Obj(members)
     }
 }
 
+/// Streaming tiered testability job: detection probabilities for the
+/// whole fault list via the [`DetectionEngine`], committed one fault at
+/// a time. Unlike `detect`, this kernel checkpoints mid-list — the
+/// snapshot carries every committed estimate, and the engine's
+/// per-fault values are batch-independent — so a crash-recovered job
+/// resumes at the last journaled fault boundary and still completes
+/// bit-identical to an uninterrupted run.
+pub struct TestabilityJob {
+    net: Arc<Network>,
+    faults: Vec<FaultEntry>,
+    parallelism: Parallelism,
+    probs: Vec<f64>,
+    config: TestabilityConfig,
+    /// Committed estimates for faults `0..done.len()`, in list order.
+    done: Vec<DetectionEstimate>,
+}
+
+impl TestabilityJob {
+    /// Builds the job from a request (`probs`, `seed`, `mode`,
+    /// `node_budget`, `tighten_samples`). An absent `mode` follows the
+    /// process-wide `DYNMOS_TESTABILITY` policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid `probs` or an unknown `mode`.
+    pub fn from_request(ctx: JobContext<'_>) -> Result<Self, String> {
+        let n = ctx.net.primary_inputs().len();
+        let mut config =
+            TestabilityConfig::from_env().with_seed(param_u64(ctx.params, "seed", DEFAULT_SEED));
+        if let Some(token) = ctx.params.get("mode").and_then(Json::as_str) {
+            config = config.with_mode(TierMode::parse(token)?);
+        }
+        if let Some(nodes) = ctx.params.get("node_budget").and_then(Json::as_u64) {
+            config = config.with_node_budget(nodes as usize);
+        }
+        if let Some(samples) = ctx.params.get("tighten_samples").and_then(Json::as_u64) {
+            config = config.with_mc_tighten_samples(samples);
+        }
+        Ok(Self {
+            probs: param_probs(ctx.params, n, 0.5)?,
+            config,
+            net: ctx.net,
+            faults: ctx.faults,
+            parallelism: ctx.parallelism,
+            done: Vec::new(),
+        })
+    }
+
+    fn complete(&self) -> bool {
+        self.done.len() >= self.faults.len()
+    }
+}
+
+impl JobKernel for TestabilityJob {
+    fn kind(&self) -> &'static str {
+        "testability"
+    }
+
+    fn run_leg(&mut self, budget: &RunBudget) -> RunStatus {
+        if self.complete() {
+            return RunStatus::Completed;
+        }
+        // The engine borrows the network, so each leg builds a fresh
+        // one; per-fault values are engine-instance-independent (the
+        // streaming contract of `estimates_from`), so legs compose
+        // bit-identically.
+        let mut engine = DetectionEngine::new(&self.net, &self.faults, self.config.clone())
+            .with_parallelism(self.parallelism);
+        let start = self.done.len();
+        let done = &mut self.done;
+        engine.estimates_from(start, &self.probs, budget, &mut |i, est| {
+            debug_assert_eq!(i, done.len());
+            done.push(est);
+        })
+    }
+
+    fn output(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str("testability")),
+            (
+                "estimates".into(),
+                Json::Arr(self.done.iter().map(estimate_json).collect()),
+            ),
+            (
+                "tiers".into(),
+                Json::str(tier_census(self.done.iter().map(|e| &e.method))),
+            ),
+            ("complete".into(), Json::Bool(self.complete())),
+        ])
+    }
+
+    fn snapshot(&self) -> Json {
+        Json::Obj(vec![
+            ("next".into(), Json::num(self.done.len() as u64)),
+            (
+                "estimates".into(),
+                Json::Arr(self.done.iter().map(estimate_json).collect()),
+            ),
+        ])
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        if matches!(snapshot, Json::Null) {
+            return Ok(());
+        }
+        let next = snapshot
+            .get("next")
+            .and_then(Json::as_u64)
+            .ok_or("testability snapshot: bad or missing \"next\"")? as usize;
+        let items = match snapshot.get("estimates") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("testability snapshot: bad or missing \"estimates\"".into()),
+        };
+        if next != items.len() || next > self.faults.len() {
+            return Err(format!(
+                "testability snapshot: next={next} disagrees with {} estimates over {} faults",
+                items.len(),
+                self.faults.len()
+            ));
+        }
+        let mut done = Vec::with_capacity(items.len());
+        for item in items {
+            done.push(estimate_from_json(item)?);
+        }
+        self.done = done;
+        Ok(())
+    }
+}
+
+/// Inverse of [`estimate_json`], for snapshot restore. The JSON writer
+/// prints floats in Rust's shortest round-trip form, so the restored
+/// values are bit-identical to the committed ones.
+fn estimate_from_json(item: &Json) -> Result<DetectionEstimate, String> {
+    let value = item
+        .get("value")
+        .and_then(Json::as_f64)
+        .ok_or("estimate: bad or missing \"value\"")?;
+    let std_error = item
+        .get("std_error")
+        .and_then(Json::as_f64)
+        .ok_or("estimate: bad or missing \"std_error\"")?;
+    let token = item
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or("estimate: bad or missing \"method\"")?;
+    let method = EstimateMethod::from_token(token)?;
+    let bounds = match (
+        item.get("low").and_then(Json::as_f64),
+        item.get("high").and_then(Json::as_f64),
+    ) {
+        (Some(lo), Some(hi)) => Some((lo, hi)),
+        (None, None) => None,
+        _ => return Err("estimate: bounds need both \"low\" and \"high\"".into()),
+    };
+    Ok(DetectionEstimate {
+        value,
+        std_error,
+        method,
+        bounds,
+    })
+}
+
 /// Builds a built-in kernel for `kind`, or `None` when the kind is not
 /// built in (the engine then consults its registered factories).
 ///
 /// Built-in kinds: `fsim`, `mc-detect`, `mc-signal`, `detect`,
-/// `length`, `optimize`.
+/// `length`, `optimize`, `testability`.
 pub fn build_builtin(
     kind: &str,
     ctx: JobContext<'_>,
@@ -839,6 +1001,7 @@ pub fn build_builtin(
         "detect" => boxed(DetectEstimatesJob::from_request(ctx)),
         "length" => boxed(TestLengthJob::from_request(ctx)),
         "optimize" => boxed(OptimizeJob::from_request(ctx)),
+        "testability" => boxed(TestabilityJob::from_request(ctx)),
         _ => return None,
     })
 }

@@ -7,10 +7,11 @@
 
 use dynmos_netlist::generate::ripple_adder;
 use dynmos_protest::{
-    detection_probability_estimates, mc_detection_probabilities_budgeted,
+    detection_probability_estimates_with, mc_detection_probabilities_budgeted,
     mc_detection_probabilities_par, mc_detection_resume, mc_signal_probability_budgeted,
     mc_signal_probability_par, mc_signal_resume, stuck_fault_list, EstimateMethod, FaultEntry,
     FaultSimulator, Parallelism, PatternSource, RunBudget, RunStatus, StopReason,
+    TestabilityConfig, TierMode,
 };
 use std::time::Duration;
 
@@ -270,26 +271,27 @@ fn double_panicking_worker_surfaces_error_and_keeps_merged_coverage() {
     assert_eq!(run.outcome.coverage_curve, serial.coverage_curve);
 }
 
-/// The exact→Monte-Carlo degradation rule through the public estimator:
-/// within the row cap the values are the exact enumeration's; over it
-/// the estimator reports sampled values with standard errors instead of
-/// refusing (the adder has 49 inputs — the old exact path would have
-/// asserted).
+/// The over-cap degradation rule through the public estimator: within
+/// the row cap the values are the exact enumeration's; over it the
+/// tiered engine drops to the symbolic BDD tier — still exact, zero
+/// standard error — instead of refusing (the adder has 49 inputs — the
+/// old exact path would have asserted).
 #[test]
 fn estimator_degrades_exactly_at_the_row_cap() {
     let net = ripple_adder(24); // 49 inputs: over any exact cap
     let faults: Vec<FaultEntry> = stuck_fault_list(&net).into_iter().take(8).collect();
     let n = net.primary_inputs().len();
     let probs = vec![0.5f64; n];
-    let est = detection_probability_estimates(
+    let est = detection_probability_estimates_with(
         &net,
         &faults,
         &probs,
-        0xBEEF,
         Parallelism::Fixed(2),
         &RunBudget::unlimited().with_max_exact_rows(1 << 12),
+        &TestabilityConfig::new(TierMode::Auto).with_seed(0xBEEF),
     )
     .expect("completes");
-    assert!(est.iter().all(|e| e.method == EstimateMethod::MonteCarlo));
-    assert!(est.iter().any(|e| e.value > 0.0 && e.std_error > 0.0));
+    assert!(est.iter().all(|e| e.method == EstimateMethod::Bdd));
+    assert!(est.iter().all(|e| e.std_error == 0.0));
+    assert!(est.iter().any(|e| e.value > 0.0));
 }

@@ -339,13 +339,14 @@ fn backoff_policy_is_bounded_and_deterministic() {
 fn all_builtin_kinds_survive_kill_injection() {
     let bench = ripple_adder_bench_text(3);
     let cell = "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z; z := a*b + c;";
-    let kinds: [(&str, &str, &str); 6] = [
+    let kinds: [(&str, &str, &str); 7] = [
         ("fsim", "bench", &bench),
         ("mc-detect", "bench", &bench),
         ("mc-signal", "bench", &bench),
         ("detect", "cell", cell),
         ("length", "cell", cell),
         ("optimize", "cell", cell),
+        ("testability", "bench", &bench),
     ];
     let plan = Arc::new(FaultPlan::new(21).kill_at(&[0]));
     let mut engine = JobEngine::new(EngineConfig {
@@ -371,7 +372,7 @@ fn all_builtin_kinds_survive_kill_injection() {
         );
     }
     let records = engine.drain();
-    assert_eq!(records.len(), 6);
+    assert_eq!(records.len(), 7);
     for record in records {
         assert_eq!(record.status, JobStatus::Completed, "kind {}", record.kind);
         assert_eq!(record.retries, 1, "kind {}: leg 0 was killed", record.kind);

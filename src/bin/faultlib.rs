@@ -40,9 +40,10 @@ use dynmos::model::{FaultLibrary, FaultUniverse};
 use dynmos::netlist::generate::single_cell_network;
 use dynmos::netlist::parse_cell;
 use dynmos::protest::{
-    detection_probability_estimates, env_budget_ms, network_fault_list, try_test_length,
-    EngineConfig, EstimateMethod, FaultPlan, JobEngine, Json, LengthError, Parallelism, RunBudget,
-    StopReason,
+    env_budget_ms, network_fault_list, optimize_input_probabilities_budgeted, tier_census,
+    try_test_length, DetectionEngine, DetectionEstimate, EngineConfig, EstimateMethod, FaultPlan,
+    JobEngine, Json, LengthError, Parallelism, RunBudget, RunStatus, StopReason, TestabilityConfig,
+    TierMode,
 };
 use std::io::{BufRead, Read, Write};
 use std::panic::catch_unwind;
@@ -68,6 +69,17 @@ fn stop_token(reason: StopReason) -> &'static str {
     }
 }
 
+/// Tier strength order for summarizing a run: exact < BDD <
+/// Monte-Carlo < cutting; the weakest tier present names the run.
+fn tier_rank(m: &EstimateMethod) -> u8 {
+    match m {
+        EstimateMethod::Exact => 0,
+        EstimateMethod::Bdd => 1,
+        EstimateMethod::MonteCarlo => 2,
+        EstimateMethod::Cutting => 3,
+    }
+}
+
 /// The one-line machine-readable exit status (stderr, every exit path).
 fn status_line(line: &str) {
     eprintln!("status={line}");
@@ -87,6 +99,14 @@ fn main() -> ExitCode {
         if !spec.trim().is_empty() {
             if let Err(e) = FaultPlan::parse(&spec) {
                 return fail("fault-plan", &format!("DYNMOS_FAULT_PLAN invalid: {e}"));
+            }
+        }
+    }
+    // Same treatment for the testability-tier knob.
+    if let Ok(spec) = std::env::var("DYNMOS_TESTABILITY") {
+        if !spec.trim().is_empty() {
+            if let Err(e) = TierMode::parse(spec.trim()) {
+                return fail("testability", &format!("DYNMOS_TESTABILITY invalid: {e}"));
             }
         }
     }
@@ -114,12 +134,14 @@ fn real_main() -> ExitCode {
 /// The original library-generation workflow.
 fn classic(args: &[String]) -> ExitCode {
     let mut full = false;
+    let mut optimize = false;
     let mut path: Option<String> = None;
     let mut budget_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => full = true,
+            "--optimize" => optimize = true,
             "--budget-ms" => {
                 i += 1;
                 match args.get(i).map(|v| v.parse::<u64>()) {
@@ -128,11 +150,13 @@ fn classic(args: &[String]) -> ExitCode {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: faultlib [--full] [--budget-ms MS] [CELL_FILE]");
+                eprintln!("usage: faultlib [--full] [--optimize] [--budget-ms MS] [CELL_FILE]");
                 eprintln!("       faultlib serve [--queue N] [--retries N] [--leg-ms MS]");
                 eprintln!("                      [--leg-patterns N] [--journal DIR]");
                 eprintln!("  reads a cell description (paper syntax) from CELL_FILE or stdin");
                 eprintln!("  --full       include line opens and inverter faults");
+                eprintln!("  --optimize   also optimize per-input signal probabilities");
+                eprintln!("               (reports the engine tier census per fault)");
                 eprintln!("  --budget-ms  wall-clock budget for the PROTEST statistics;");
                 eprintln!("               a partial result exits with code {EXIT_PARTIAL}");
                 eprintln!("               (DYNMOS_BUDGET_MS is the env fallback)");
@@ -184,8 +208,9 @@ fn classic(args: &[String]) -> ExitCode {
     let lib = FaultLibrary::generate_with(&cell, universe);
     print!("{lib}");
 
-    // PROTEST summary: exact enumeration up to 2^20 rows, Monte-Carlo
-    // estimation beyond — no input-count gate needed any more.
+    // PROTEST summary: the tiered engine — exact enumeration up to
+    // 2^20 rows, BDD beyond, certified cutting bounds past the node
+    // budget (`DYNMOS_TESTABILITY` overrides the policy).
     let mut run_budget = RunBudget::unlimited().with_max_exact_rows(1 << 20);
     if let Some(ms) = budget_ms {
         run_budget.deadline =
@@ -194,30 +219,32 @@ fn classic(args: &[String]) -> ExitCode {
     let net = single_cell_network(cell);
     let faults = network_fault_list(&net);
     let probs = vec![0.5; net.primary_inputs().len()];
-    let est = match detection_probability_estimates(
-        &net,
-        &faults,
-        &probs,
-        MC_SEED,
-        Parallelism::default(),
-        &run_budget,
-    ) {
-        Ok(est) => est,
-        Err(reason) => {
-            eprintln!(
-                "faultlib: PROTEST statistics interrupted ({reason}); \
-                 the fault library above is complete, detection statistics were skipped"
-            );
-            status_line(&format!("interrupted reason={}", stop_token(reason)));
-            return ExitCode::from(EXIT_PARTIAL);
-        }
-    };
+    let config = TestabilityConfig::from_env().with_seed(MC_SEED);
+    let mut engine =
+        DetectionEngine::new(&net, &faults, config).with_parallelism(Parallelism::default());
+    // Streamed so an interrupt still knows which tier served each
+    // finished fault — the census lands in the status line.
+    let mut est: Vec<DetectionEstimate> = Vec::new();
+    let status = engine.estimates_from(0, &probs, &run_budget, &mut |_, e| est.push(e));
+    let census = tier_census(est.iter().map(|e| &e.method));
+    if let RunStatus::Interrupted(reason) = status {
+        eprintln!(
+            "faultlib: PROTEST statistics interrupted ({reason}) after {}/{} faults; \
+             the fault library above is complete",
+            est.len(),
+            faults.len()
+        );
+        status_line(&format!(
+            "interrupted reason={} tiers={census}",
+            stop_token(reason)
+        ));
+        return ExitCode::from(EXIT_PARTIAL);
+    }
     let values: Vec<f64> = est.iter().map(|e| e.value).collect();
     let hardest = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let method = if est.iter().any(|e| e.method == EstimateMethod::MonteCarlo) {
-        "Monte-Carlo estimate"
-    } else {
-        "exact"
+    let method = match est.iter().map(|e| e.method).max_by_key(tier_rank) {
+        None | Some(EstimateMethod::Exact) => "exact".to_owned(),
+        Some(_) => format!("tiers {census}"),
     };
     println!();
     match try_test_length(&values, 0.999) {
@@ -239,10 +266,53 @@ fn classic(args: &[String]) -> ExitCode {
                 "faultlib: test-length search interrupted ({reason}); \
                  detection statistics above are complete"
             );
-            status_line(&format!("interrupted reason={}", stop_token(reason)));
+            status_line(&format!(
+                "interrupted reason={} tiers={census}",
+                stop_token(reason)
+            ));
             return ExitCode::from(EXIT_PARTIAL);
         }
         Err(e) => return fail("length", &format!("test-length: {e}")),
+    }
+    if optimize {
+        let run = optimize_input_probabilities_budgeted(
+            &net,
+            &faults,
+            0.999,
+            4,
+            Parallelism::default(),
+            &run_budget,
+        );
+        let census = tier_census(&run.methods);
+        let fmt_len = |n: u64| {
+            if n == u64::MAX {
+                "unbounded".to_owned()
+            } else {
+                n.to_string()
+            }
+        };
+        let r = &run.report;
+        let shown: Vec<String> = r.probabilities.iter().map(|p| format!("{p:.4}")).collect();
+        println!("optimized input probabilities (tiers {census}):");
+        println!("  [{}]", shown.join(", "));
+        println!(
+            "  test length {} -> {} ({} sweep{})",
+            fmt_len(r.uniform_length),
+            fmt_len(r.optimized_length),
+            r.sweeps,
+            if r.sweeps == 1 { "" } else { "s" }
+        );
+        if let RunStatus::Interrupted(reason) = run.status {
+            eprintln!(
+                "faultlib: optimization interrupted ({reason}); \
+                 the probabilities above are the best candidate seen"
+            );
+            status_line(&format!(
+                "interrupted reason={} tiers={census}",
+                stop_token(reason)
+            ));
+            return ExitCode::from(EXIT_PARTIAL);
+        }
     }
     status_line("completed");
     ExitCode::SUCCESS

@@ -14,6 +14,7 @@ fn serve(args: &[&str], env: &[(&str, &str)], input: &str) -> (String, String, b
     // A hermetic environment: the knobs under test are set explicitly.
     cmd.env_remove("DYNMOS_FAULT_PLAN");
     cmd.env_remove("DYNMOS_BUDGET_MS");
+    cmd.env_remove("DYNMOS_TESTABILITY");
     cmd.env("DYNMOS_THREADS", "2");
     for (k, v) in env {
         cmd.env(k, v);
@@ -64,10 +65,14 @@ fn result_payloads(stdout: &str) -> Vec<String> {
 #[test]
 fn chaos_session_results_match_clean_session() {
     let session = format!(
-        "{}\n{}\n{}\n{}\n",
+        "{}\n{}\n{}\n{}\n{}\n",
         submit_line("fsim", r#","patterns":3000,"seed":7"#),
         submit_line("mc-detect", r#","samples":3000,"seed":7"#),
         submit_line("atpg", r#","max_backtracks":50"#),
+        submit_line(
+            "testability",
+            r#","seed":7,"mode":"bdd","tighten_samples":64"#
+        ),
         r#"{"op":"run"}"#
     );
     let (clean, clean_err, ok) = serve(&["--leg-patterns", "512"], &[], &session);
@@ -80,7 +85,7 @@ fn chaos_session_results_match_clean_session() {
     assert!(ok, "chaos session failed: {chaos_err}");
     let clean_results = result_payloads(&clean);
     let chaos_results = result_payloads(&chaos);
-    assert_eq!(clean_results.len(), 3, "three records expected: {clean}");
+    assert_eq!(clean_results.len(), 4, "four records expected: {clean}");
     assert_eq!(
         clean_results, chaos_results,
         "chaos must not change any result payload"
@@ -188,10 +193,14 @@ fn results_line(stdout: &str) -> &str {
 #[test]
 fn crash_chaos_session_results_match_clean_session() {
     let submits = format!(
-        "{}\n{}\n{}\n",
+        "{}\n{}\n{}\n{}\n",
         submit_line("fsim", r#","patterns":3000,"seed":7"#),
         submit_line("mc-detect", r#","samples":3000,"seed":7"#),
         submit_line("atpg", r#","max_backtracks":50"#),
+        submit_line(
+            "testability",
+            r#","seed":7,"mode":"bdd","tighten_samples":64"#
+        ),
     );
     let full_session = format!(
         "{submits}{}\n{}\n{}\n",
@@ -266,7 +275,7 @@ fn sigkill_mid_job_recovers_byte_identical_results() {
         r#"{"op":"run"}"#, r#"{"op":"results"}"#, r#"{"op":"quit"}"#
     );
     let full_session = format!("{submits}{drain}");
-    fn args<'a>(dir: Option<&'a str>) -> Vec<&'a str> {
+    fn args(dir: Option<&str>) -> Vec<&str> {
         let mut a = vec!["--leg-patterns", "65536"];
         if let Some(d) = dir {
             a.extend_from_slice(&["--journal", d]);
@@ -285,6 +294,7 @@ fn sigkill_mid_job_recovers_byte_identical_results() {
     cmd.arg("serve").args(args(Some(dir_s)));
     cmd.env_remove("DYNMOS_FAULT_PLAN");
     cmd.env_remove("DYNMOS_BUDGET_MS");
+    cmd.env_remove("DYNMOS_TESTABILITY");
     cmd.env("DYNMOS_THREADS", "2");
     cmd.stdin(Stdio::piped());
     cmd.stdout(Stdio::piped());
@@ -347,6 +357,7 @@ fn classic_cli_prints_status_lines() {
         cmd.args(args);
         cmd.env_remove("DYNMOS_FAULT_PLAN");
         cmd.env_remove("DYNMOS_BUDGET_MS");
+        cmd.env_remove("DYNMOS_TESTABILITY");
         cmd.stdin(Stdio::piped());
         cmd.stdout(Stdio::piped());
         cmd.stderr(Stdio::piped());
