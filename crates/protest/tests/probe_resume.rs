@@ -1,0 +1,53 @@
+use dynmos_protest::{
+    network_fault_list, DetectionEngine, EstimateMethod, RunBudget, TestabilityConfig, TierMode,
+};
+use dynmos_netlist::generate::ripple_adder;
+
+#[test]
+fn resume_divergence_probe() {
+    let net = ripple_adder(10);
+    let faults = network_fault_list(&net);
+    let probs = vec![0.4; net.primary_inputs().len()];
+    for budget in [600usize, 900, 1200, 1800, 2500] {
+        let config = TestabilityConfig::new(TierMode::Bdd)
+            .with_node_budget(budget)
+            .with_mc_tighten_samples(64);
+        let mut full = DetectionEngine::new(&net, &faults, config.clone());
+        let all = match full.estimates(&probs, &RunBudget::unlimited()) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let n_bdd = all.iter().filter(|e| e.method == EstimateMethod::Bdd).count();
+        let n_cut = all
+            .iter()
+            .filter(|e| e.method == EstimateMethod::Cutting)
+            .count();
+        eprintln!("budget {budget}: bdd {n_bdd} cutting {n_cut}");
+        let mut diverged = 0;
+        for (i, a) in all.iter().enumerate() {
+            if a.method != EstimateMethod::Cutting {
+                continue;
+            }
+            let mut eng = DetectionEngine::new(&net, &faults, config.clone());
+            let mut got = None;
+            let _ = eng.estimates_from(i, &probs, &RunBudget::unlimited(), &mut |j, est| {
+                if j == i && got.is_none() {
+                    got = Some(est);
+                }
+            });
+            let b = got.unwrap();
+            if a.method != b.method || a.value.to_bits() != b.value.to_bits() {
+                diverged += 1;
+                if diverged <= 3 {
+                    eprintln!(
+                        "DIVERGENCE budget {budget} fault {i}: full {:?} v={}, resumed {:?} v={}",
+                        a.method, a.value, b.method, b.value
+                    );
+                }
+            }
+        }
+        if diverged > 0 {
+            panic!("budget {budget}: {diverged} divergent faults");
+        }
+    }
+}
