@@ -1,0 +1,90 @@
+#![forbid(unsafe_code)]
+//! `dynlint` — a repo-specific static analyzer that enforces the
+//! determinism & durability contract (ROADMAP "Service & robustness
+//! contract") at review time instead of waiting for a lucky chaos seed.
+//!
+//! Dependency-free by construction: a hand-rolled Rust [`lexer`], a
+//! lightweight item [`scanner`], a [`zones`] manifest (`dynlint.toml`)
+//! classifying files into kernel / merge / durable / infra / test
+//! zones, and a [`rules`] engine with per-line suppression pragmas.
+//! See `crates/analyze/README.md` for the pragma convention.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod zones;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::Report;
+use zones::Manifest;
+
+/// Directory names the walker never descends into: build output, VCS
+/// metadata, and the analyzer's own deliberately-violating fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Loads `dynlint.toml` from `root` and analyzes every `.rs` file
+/// beneath it.
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    let manifest_path = root.join("dynlint.toml");
+    let manifest_text = fs::read_to_string(&manifest_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("cannot read {}: {e}", manifest_path.display()),
+        )
+    })?;
+    let manifest = Manifest::parse(&manifest_text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let result = rules::check_file(&rel, &source, &manifest);
+        report.absorb(rel, result);
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Analyzes one in-memory source under a manifest — the entry point
+/// the fixture tests use, bypassing the filesystem walk.
+pub fn analyze_source(path: &str, source: &str, manifest: &Manifest) -> rules::FileResult {
+    rules::check_file(path, source, manifest)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            // Normalize to `/` so manifest globs match on any host.
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+#![forbid(unsafe_code)]
+//! `dynlint` CLI.
+//!
+//! ```text
+//! dynlint check [--root DIR] [--json FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprintln!("usage: dynlint check [--root DIR] [--json FILE]");
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("dynlint: unknown command `{cmd}` (only `check` exists)");
+        return ExitCode::from(2);
+    }
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("dynlint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match it.next() {
+                Some(file) => json_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("dynlint: --json needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("dynlint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let report = match dynmos_analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dynlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    println!("dynlint: completed in {:.2?}", started.elapsed());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("dynlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,3 @@
+pub fn threads() -> Option<usize> {
+    std::env::var("DYNMOS_THREADS").ok()?.parse().ok()
+}

@@ -1,0 +1,3 @@
+pub fn threads() -> Option<usize> {
+    crate::env_contract::trimmed("DYNMOS_THREADS")?.parse().ok()
+}

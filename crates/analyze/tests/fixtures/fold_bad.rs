@@ -1,0 +1,11 @@
+pub fn merge_totals(parts: &[Vec<f64>], out: &mut [f64]) {
+    for part in parts {
+        for (i, p) in part.iter().enumerate() {
+            out[i] += p;
+        }
+    }
+}
+
+pub fn grand_total(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>()
+}

@@ -1,0 +1,8 @@
+pub fn merge_totals(parts: &[Vec<f64>], out: &mut [f64]) {
+    for part in parts {
+        for (i, p) in part.iter().enumerate() {
+            // dynlint: ordered -- parts arrive in ascending shard index, lanes in ascending position
+            out[i] += p;
+        }
+    }
+}

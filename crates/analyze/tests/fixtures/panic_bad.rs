@@ -1,0 +1,4 @@
+pub fn parse_record(line: &str) -> u64 {
+    let field = line.split(',').next().unwrap();
+    field.parse().expect("numeric field")
+}

@@ -1,0 +1,11 @@
+use std::io;
+
+pub fn parse_record(line: &str) -> io::Result<u64> {
+    let field = line
+        .split(',')
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty record"))?;
+    field
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad numeric field"))
+}

@@ -1,0 +1,7 @@
+pub fn a() -> u64 {
+    0 // dynlint: allow(no-ambient-rng)
+}
+
+pub fn b() -> u64 {
+    0 // dynlint: allow(no-such-rule) -- a justification for a rule that does not exist
+}

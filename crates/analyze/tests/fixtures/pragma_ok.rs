@@ -1,0 +1,6 @@
+use std::collections::HashSet;
+
+pub fn any_even(seen: &HashSet<u64>) -> bool {
+    // dynlint: allow(no-unordered-iteration) -- `any` of a pure predicate holds under every visit order
+    seen.iter().any(|v| v % 2 == 0)
+}

@@ -1,0 +1,4 @@
+pub fn scramble() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

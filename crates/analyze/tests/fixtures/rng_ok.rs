@@ -1,0 +1,5 @@
+pub fn stream_seed(base_seed: u64, shard: u64) -> u64 {
+    base_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(shard)
+}

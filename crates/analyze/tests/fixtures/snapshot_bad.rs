@@ -1,0 +1,16 @@
+use crate::service::{JobKernel, Json};
+
+pub struct CountJob {
+    done: u64,
+}
+
+impl JobKernel for CountJob {
+    fn step(&mut self) -> Json {
+        self.done += 1;
+        Json::Null
+    }
+
+    fn snapshot(&self) -> Json {
+        Json::Null
+    }
+}

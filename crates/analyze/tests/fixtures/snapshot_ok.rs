@@ -1,0 +1,21 @@
+use crate::service::{JobKernel, Json};
+
+pub struct CountJob {
+    done: u64,
+}
+
+impl JobKernel for CountJob {
+    fn step(&mut self) -> Json {
+        self.done += 1;
+        Json::Null
+    }
+
+    fn snapshot(&self) -> Json {
+        Json::num(self.done)
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        self.done = snapshot.as_u64().ok_or("count snapshot: want u64")?;
+        Ok(())
+    }
+}

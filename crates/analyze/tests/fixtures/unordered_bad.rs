@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn merge_counts(counts: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0u64;
+    for (_fault, hits) in counts.iter() {
+        total += hits;
+    }
+    total
+}

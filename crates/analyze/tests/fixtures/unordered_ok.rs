@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn merge_counts(counts: &BTreeMap<u32, u64>) -> u64 {
+    let mut total = 0u64;
+    for (_fault, hits) in counts.iter() {
+        total += hits;
+    }
+    total
+}

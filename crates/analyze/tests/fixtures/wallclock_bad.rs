@@ -1,0 +1,11 @@
+use std::time::Instant;
+
+pub fn simulate_block(block: &[u64]) -> u64 {
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for word in block {
+        acc ^= word;
+    }
+    let _ = started.elapsed();
+    acc
+}

@@ -1,0 +1,10 @@
+pub fn simulate_block(block: &[u64], node_budget: usize) -> (u64, bool) {
+    let mut acc = 0u64;
+    for (visited, word) in block.iter().enumerate() {
+        if visited >= node_budget {
+            return (acc, false);
+        }
+        acc ^= word;
+    }
+    (acc, true)
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic test pattern generation for dynamic MOS networks.
 //!
 //! The paper's point (section 3/4): because every fault of the physical

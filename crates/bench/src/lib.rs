@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! The paper is a 1986 method paper; its evaluation consists of worked

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's primary contribution: a logical fault model for dynamic MOS.
 //!
 //! Wunderlich & Rosenstiel (DAC 1986) show that for dynamic nMOS and domino

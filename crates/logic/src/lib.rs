@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Boolean substrate for the `dynmos` workspace.
 //!
 //! This crate provides everything the fault-modeling layers need to talk

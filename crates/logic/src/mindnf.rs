@@ -40,6 +40,7 @@ pub fn prime_implicants(table: &TruthTable) -> Vec<Cube> {
     let mut primes: Vec<Cube> = Vec::new();
 
     while !current.is_empty() {
+        // dynlint: allow(no-unordered-iteration) -- order-invariant: every pair is merged regardless of visit order, and `primes` is sorted + deduped before return
         let cubes: Vec<Cube> = current.iter().copied().collect();
         let mut merged_flags = vec![false; cubes.len()];
         let mut next: HashSet<Cube> = HashSet::new();
@@ -177,8 +178,8 @@ fn exact_cover(
         best: Option<(usize, u32, Vec<usize>)>, // (#cubes, #literals, set)
     }
     impl Search<'_> {
-        fn go(&mut self, uncovered: &[usize], picked: &mut Vec<usize>, cands: &[usize]) {
-            if uncovered.is_empty() {
+        fn go(&mut self, open_minterms: &[usize], picked: &mut Vec<usize>, cands: &[usize]) {
+            if open_minterms.is_empty() {
                 let lits: u32 = picked.iter().map(|&p| self.primes[p].literal_count()).sum();
                 let better = match &self.best {
                     None => true,
@@ -190,7 +191,7 @@ fn exact_cover(
                 return;
             }
             if let Some((bc, _, _)) = &self.best {
-                if picked.len() + 1 >= *bc && !uncovered.is_empty() {
+                if picked.len() + 1 >= *bc && !open_minterms.is_empty() {
                     // Even one more cube ties or exceeds the best cube count
                     // unless it finishes the cover; allow equality to compete
                     // on literal count.
@@ -200,7 +201,7 @@ fn exact_cover(
                 }
             }
             // Branch on the hardest minterm (fewest candidate coverers).
-            let &target = uncovered
+            let &target = open_minterms
                 .iter()
                 .min_by_key(|&&mi| {
                     cands
@@ -208,7 +209,7 @@ fn exact_cover(
                         .filter(|&&p| self.primes[p].contains(self.minterms[mi]))
                         .count()
                 })
-                .expect("uncovered nonempty");
+                .expect("open_minterms nonempty");
             let coverers: Vec<usize> = cands
                 .iter()
                 .copied()
@@ -216,7 +217,7 @@ fn exact_cover(
                 .collect();
             for p in coverers {
                 picked.push(p);
-                let next: Vec<usize> = uncovered
+                let next: Vec<usize> = open_minterms
                     .iter()
                     .copied()
                     .filter(|&mi| !self.primes[p].contains(self.minterms[mi]))
@@ -248,6 +249,7 @@ fn greedy_cover(primes: &[Cube], minterms: &[u64], remaining: &[usize]) -> Vec<u
     while !uncovered.is_empty() {
         let best = (0..primes.len())
             .max_by_key(|&pi| {
+                // dynlint: allow(no-unordered-iteration) -- order-invariant: `.count()` of a membership filter is the same for any visit order
                 let gain = uncovered
                     .iter()
                     .filter(|&&mi| primes[pi].contains(minterms[mi]))
@@ -255,6 +257,7 @@ fn greedy_cover(primes: &[Cube], minterms: &[u64], remaining: &[usize]) -> Vec<u
                 (gain, std::cmp::Reverse(primes[pi].literal_count()))
             })
             .expect("primes nonempty");
+        // dynlint: allow(no-unordered-iteration) -- order-invariant: `.count()` of a membership filter is the same for any visit order
         let gain = uncovered
             .iter()
             .filter(|&&mi| primes[best].contains(minterms[mi]))

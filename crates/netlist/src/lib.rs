@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Gate-level substrate: technology-tagged cells and networks.
 //!
 //! The paper's PROTEST tool consumes "a circuit description and a

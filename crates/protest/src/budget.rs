@@ -199,7 +199,7 @@ pub(crate) fn parse_budget_ms_override(raw: Option<&str>) -> Option<u64> {
 ///
 /// Panics when the variable is set but not a non-negative integer.
 pub fn env_budget_ms() -> Option<u64> {
-    parse_budget_ms_override(std::env::var("DYNMOS_BUDGET_MS").ok().as_deref())
+    parse_budget_ms_override(crate::env_contract::raw("DYNMOS_BUDGET_MS").as_deref())
 }
 
 #[cfg(test)]

@@ -355,7 +355,7 @@ pub fn env_fault_plan() -> Option<Arc<FaultPlan>> {
     static ENV_PLAN: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
     ENV_PLAN
         .get_or_init(|| {
-            parse_fault_plan_override(std::env::var("DYNMOS_FAULT_PLAN").ok().as_deref())
+            parse_fault_plan_override(crate::env_contract::raw("DYNMOS_FAULT_PLAN").as_deref())
                 .map(Arc::new)
         })
         .clone()

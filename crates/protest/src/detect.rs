@@ -322,7 +322,7 @@ impl<'n> ExactDetector<'n> {
             // sharding is visible in the result.
             for block in partials {
                 for (t, p) in totals.iter_mut().zip(&block) {
-                    *t += p;
+                    *t += p; // dynlint: ordered -- blocks fold in ascending block index; within a block, ascending fault index
                 }
             }
             next = end;
@@ -402,7 +402,7 @@ impl<'n> ExactDetector<'n> {
                     let mut totals = vec![0.0f64; prepared.len()];
                     for block in shards.into_iter().flatten() {
                         for (t, p) in totals.iter_mut().zip(&block) {
-                            *t += p;
+                            *t += p; // dynlint: ordered -- shard results return in shard-index order (run_sharded), blocks within a shard in ascending order
                         }
                     }
                     totals
@@ -491,7 +491,7 @@ fn fold_blocks(
             &mut block,
         );
         for (t, p) in totals.iter_mut().zip(&block) {
-            *t += p;
+            *t += p; // dynlint: ordered -- serial reference fold: ascending block index, then ascending fault index
         }
     }
     totals
@@ -540,7 +540,7 @@ fn enumerate_block_into(
             }
             while differ != 0 {
                 let lane = differ.trailing_zeros() as usize;
-                out[fi] += weights[lane];
+                out[fi] += weights[lane]; // dynlint: ordered -- lanes drain in ascending bit position within one pattern word
                 differ &= differ - 1;
             }
         }

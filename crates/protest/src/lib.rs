@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Reproduction of **PROTEST** (Probabilistic Testability Analysis),
 //! the paper's section-5 tool (Fig. 8).
 //!
@@ -42,6 +43,7 @@
 pub mod budget;
 pub mod chaos;
 pub mod detect;
+pub mod env_contract;
 pub mod estimate;
 pub mod fsim;
 pub mod length;
@@ -60,6 +62,7 @@ pub use detect::{
     detection_probabilities, detection_probability_estimates, detection_probability_estimates_with,
     exact_detection_probability, DetectionEstimate, EstimateMethod, ExactDetector,
 };
+pub use env_contract::EnvError;
 pub use estimate::{exact_signal_probability, signal_probabilities};
 pub use fsim::{BudgetedFsim, FaultSimulator, FsimCheckpoint, FsimOutcome};
 pub use length::{

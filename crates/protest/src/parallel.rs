@@ -164,7 +164,7 @@ impl Parallelism {
             Parallelism::Serial => 1,
             Parallelism::Fixed(n) => n.max(1),
             Parallelism::Auto => {
-                parse_thread_override(std::env::var("DYNMOS_THREADS").ok().as_deref())
+                parse_thread_override(crate::env_contract::raw("DYNMOS_THREADS").as_deref())
                     .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             }
         }

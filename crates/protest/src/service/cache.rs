@@ -5,6 +5,10 @@
 //! ([`crate::chaos::FaultPlan::cache_poison`]) corrupts fingerprints at
 //! insert time to prove the validation path actually catches rot.
 
+#![deny(clippy::unwrap_used)]
+// Durable path (dynlint zone: durable): a panic mid-append can
+// fabricate a torn record the recovery logic then trusts, so even
+// "impossible" unwraps are compiler-rejected in this module.
 use crate::chaos::{mix64, FaultPlan};
 use dynmos_netlist::generate::single_cell_network;
 use dynmos_netlist::{parse_bench, parse_cell, Network, PackedEvaluator};
@@ -227,6 +231,7 @@ impl NetworkCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dynmos_netlist::generate::ripple_adder_bench_text;

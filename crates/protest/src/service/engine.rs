@@ -9,6 +9,10 @@
 //! and the whole service deterministic under a seeded
 //! [`FaultPlan`].
 
+#![deny(clippy::unwrap_used)]
+// Durable path (dynlint zone: durable): a panic mid-append can
+// fabricate a torn record the recovery logic then trusts, so even
+// "impossible" unwraps are compiler-rejected in this module.
 use crate::budget::{RunBudget, RunStatus, StopReason};
 use crate::chaos::{self, mix64, FaultPlan, LegFault};
 use crate::list::{network_fault_list, stuck_fault_list};
@@ -549,7 +553,7 @@ impl JobEngine {
             let kernel = &mut job.kernel;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if kill {
-                    panic!("injected job kill (fault plan)");
+                    panic!("injected job kill (fault plan)"); // dynlint: allow(no-panic-in-durable-paths) -- deliberate chaos injection, confined to catch_unwind directly above
                 }
                 match &plan {
                     Some(p) => chaos::scoped(p.clone(), || kernel.run_leg(&budget)),

@@ -586,6 +586,22 @@ impl JobKernel for DetectEstimatesJob {
             ("complete".into(), Json::Bool(self.result.is_some())),
         ])
     }
+
+    fn snapshot(&self) -> Json {
+        // Stateless by design: the estimator is a pure function of
+        // `(net, faults, probs, seed)`, so there is no cross-leg state
+        // worth journaling — an explicit `null` documents that a
+        // recovered job recomputes from scratch and still completes
+        // bit-identically.
+        Json::Null
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        match snapshot {
+            Json::Null => Ok(()),
+            other => Err(format!("detect snapshot: expected null, got {other}")),
+        }
+    }
 }
 
 /// Shared payload shape for a [`DetectionEstimate`]: value, standard
@@ -817,6 +833,87 @@ impl JobKernel for OptimizeJob {
         }
         members.push(("complete".into(), Json::Bool(self.complete)));
         Json::Obj(members)
+    }
+
+    fn snapshot(&self) -> Json {
+        // The best-so-far report is the job's cross-leg state: a
+        // crash between legs must not forget a finished descent (the
+        // engine would otherwise re-run it and, worse, report
+        // `complete: false` forever if the budget shrank). Lengths use
+        // the `u64::MAX` = "unbounded" sentinel, which exceeds 2^53 and
+        // cannot ride a JSON number exactly, so it serializes as null.
+        let Some(r) = &self.report else {
+            return Json::Null;
+        };
+        let length = |n: u64| match n {
+            u64::MAX => Json::Null,
+            n => Json::num(n),
+        };
+        Json::Obj(vec![
+            (
+                "probabilities".into(),
+                Json::Arr(r.probabilities.iter().map(|&p| Json::Num(p)).collect()),
+            ),
+            ("uniform_length".into(), length(r.uniform_length)),
+            ("optimized_length".into(), length(r.optimized_length)),
+            ("sweeps".into(), Json::num(r.sweeps as u64)),
+            (
+                "methods".into(),
+                Json::Arr(self.methods.iter().map(|m| Json::str(m.token())).collect()),
+            ),
+            ("complete".into(), Json::Bool(self.complete)),
+        ])
+    }
+
+    fn restore(&mut self, snapshot: &Json) -> Result<(), String> {
+        if matches!(snapshot, Json::Null) {
+            return Ok(());
+        }
+        let probabilities = match snapshot.get("probabilities") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| format!("optimize snapshot: bad probability {v}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            other => return Err(format!("optimize snapshot: bad probabilities {other:?}")),
+        };
+        let length = |key: &str| -> Result<u64, String> {
+            match snapshot.get(key) {
+                None | Some(Json::Null) => Ok(u64::MAX),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("optimize snapshot: bad {key} {v}")),
+            }
+        };
+        let sweeps = snapshot
+            .get("sweeps")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "optimize snapshot: missing sweeps".to_owned())?;
+        self.methods = match snapshot.get("methods") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .ok_or_else(|| format!("optimize snapshot: bad method {v}"))
+                        .and_then(EstimateMethod::from_token)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => return Err(format!("optimize snapshot: bad methods {other}")),
+        };
+        self.report = Some(OptimizeReport {
+            probabilities,
+            uniform_length: length("uniform_length")?,
+            optimized_length: length("optimized_length")?,
+            sweeps: sweeps as usize,
+        });
+        self.complete = snapshot
+            .get("complete")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Ok(())
     }
 }
 

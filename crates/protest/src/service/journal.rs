@@ -51,6 +51,10 @@
 //! the compaction rewrite, which never probes — recovery always makes
 //! that much progress.
 
+#![deny(clippy::unwrap_used)]
+// Durable path (dynlint zone: durable): a panic mid-append can
+// fabricate a torn record the recovery logic then trusts, so even
+// "impossible" unwraps are compiler-rejected in this module.
 use crate::chaos::{CrashPoint, FaultPlan};
 use crate::service::json::Json;
 use std::fs::{self, File, OpenOptions};
@@ -365,6 +369,7 @@ fn done_record(id: u64, record: &Json) -> Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -8,6 +8,10 @@
 //! producing equal values produce byte-equal lines, which is what the
 //! service's bit-identical differential tests compare.
 
+#![deny(clippy::unwrap_used)]
+// Durable path (dynlint zone: durable): a panic mid-append can
+// fabricate a torn record the recovery logic then trusts, so even
+// "impossible" unwraps are compiler-rejected in this module.
 use std::fmt;
 
 /// A JSON value.
@@ -147,7 +151,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -180,7 +184,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -203,7 +207,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -214,7 +218,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             members.push((key, self.value()?));
             self.skip_ws();
@@ -240,7 +244,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.error(format!("bad number {text:?}")))
@@ -259,7 +264,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -288,7 +293,7 @@ impl Parser<'_> {
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
                                 }
-                                self.expect(b'u')
+                                self.expect_byte(b'u')
                                     .map_err(|_| self.error("lone high surrogate"))?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
@@ -314,7 +319,10 @@ impl Parser<'_> {
                     // bytes are valid UTF-8).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -382,6 +390,7 @@ impl fmt::Display for Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -119,7 +119,7 @@ pub fn parse_testability_override(raw: Option<&str>) -> Option<TierMode> {
 ///
 /// Panics if the variable is set to an unknown tier.
 pub fn env_testability() -> Option<TierMode> {
-    parse_testability_override(std::env::var("DYNMOS_TESTABILITY").ok().as_deref())
+    parse_testability_override(crate::env_contract::raw("DYNMOS_TESTABILITY").as_deref())
 }
 
 /// Configuration of a [`DetectionEngine`].

@@ -1,7 +1,7 @@
+use dynmos_netlist::generate::ripple_adder;
 use dynmos_protest::{
     network_fault_list, DetectionEngine, EstimateMethod, RunBudget, TestabilityConfig, TierMode,
 };
-use dynmos_netlist::generate::ripple_adder;
 
 #[test]
 fn resume_divergence_probe() {
@@ -17,7 +17,10 @@ fn resume_divergence_probe() {
             Ok(v) => v,
             Err(_) => continue,
         };
-        let n_bdd = all.iter().filter(|e| e.method == EstimateMethod::Bdd).count();
+        let n_bdd = all
+            .iter()
+            .filter(|e| e.method == EstimateMethod::Bdd)
+            .count();
         let n_cut = all
             .iter()
             .filter(|e| e.method == EstimateMethod::Cutting)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Built-in self-test substrate.
 //!
 //! The paper's section 4: timing faults (fault class `CMOS-3` case b and

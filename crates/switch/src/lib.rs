@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Switch-level simulation substrate for `dynmos`.
 //!
 //! The paper's entire argument lives at the *switch level*: transistors are

@@ -41,9 +41,8 @@ use dynmos::netlist::generate::single_cell_network;
 use dynmos::netlist::parse_cell;
 use dynmos::protest::{
     env_budget_ms, network_fault_list, optimize_input_probabilities_budgeted, tier_census,
-    try_test_length, DetectionEngine, DetectionEstimate, EngineConfig, EstimateMethod, FaultPlan,
-    JobEngine, Json, LengthError, Parallelism, RunBudget, RunStatus, StopReason, TestabilityConfig,
-    TierMode,
+    try_test_length, DetectionEngine, DetectionEstimate, EngineConfig, EstimateMethod, JobEngine,
+    Json, LengthError, Parallelism, RunBudget, RunStatus, StopReason, TestabilityConfig,
 };
 use std::io::{BufRead, Read, Write};
 use std::panic::catch_unwind;
@@ -92,23 +91,12 @@ fn fail(reason: &str, msg: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // Pre-validate the fault-injection knob before any code path can
-    // trip over it: a typo exits cleanly with a named reason instead
-    // of a panic backtrace from deep inside the first probe.
-    if let Ok(spec) = std::env::var("DYNMOS_FAULT_PLAN") {
-        if !spec.trim().is_empty() {
-            if let Err(e) = FaultPlan::parse(&spec) {
-                return fail("fault-plan", &format!("DYNMOS_FAULT_PLAN invalid: {e}"));
-            }
-        }
-    }
-    // Same treatment for the testability-tier knob.
-    if let Ok(spec) = std::env::var("DYNMOS_TESTABILITY") {
-        if !spec.trim().is_empty() {
-            if let Err(e) = TierMode::parse(spec.trim()) {
-                return fail("testability", &format!("DYNMOS_TESTABILITY invalid: {e}"));
-            }
-        }
+    // Validate every DYNMOS_* knob in one shared startup pass: a typo
+    // in any of them exits cleanly with a uniform `reason=env:<VAR>`
+    // status instead of a panic backtrace from deep inside the first
+    // code path that lazily consults it.
+    if let Err(e) = dynmos::protest::env_contract::validate_all() {
+        return fail(&format!("env:{}", e.var), &e.message);
     }
     // The engine catches and retries leg panics itself; anything that
     // unwinds out to here is unhandled, and must still produce the

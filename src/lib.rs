@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dynmos — Fault Modeling for Dynamic MOS Circuits
 //!
 //! A full reproduction of **Wunderlich & Rosenstiel, "On Fault Modeling

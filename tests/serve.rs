@@ -339,7 +339,7 @@ fn garbage_fault_plan_fails_loudly_at_startup() {
     assert!(
         stderr
             .lines()
-            .any(|l| l == "status=failed reason=fault-plan"),
+            .any(|l| l == "status=failed reason=env:DYNMOS_FAULT_PLAN"),
         "no status token: {stderr}"
     );
     assert!(

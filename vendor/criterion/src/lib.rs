@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Vendored shim for the subset of the `criterion` crate API this
 //! workspace uses: wall-clock micro-benchmarks with a calibrated
 //! iteration count and a compact median report.

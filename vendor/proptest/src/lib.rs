@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Vendored shim for the subset of the `proptest` crate API this
 //! workspace uses.
 //!

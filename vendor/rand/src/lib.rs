@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Vendored shim for the subset of the `rand` crate API this workspace
 //! uses: a seedable `StdRng` plus `gen`, `gen_bool` and `gen_range`.
 //!
